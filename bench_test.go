@@ -1,0 +1,213 @@
+package depburst_test
+
+// The benchmarks in this file regenerate the paper's evaluation artefacts:
+// one benchmark per table and figure (run with -bench to print them), plus
+// microbenchmarks for the simulator's hot paths. The table/figure output is
+// written to stdout once per benchmark run (the first iteration computes,
+// later iterations reuse the Runner's memoised truth runs, so -benchtime
+// does not multiply the cost).
+
+import (
+	"os"
+	"sync"
+	"testing"
+
+	"depburst/internal/core"
+	"depburst/internal/cpu"
+	"depburst/internal/dacapo"
+	"depburst/internal/experiments"
+	"depburst/internal/kernel"
+	"depburst/internal/mem"
+	"depburst/internal/rng"
+	"depburst/internal/sim"
+	"depburst/internal/units"
+)
+
+// benchRunner shares memoised truth runs across all experiment benchmarks.
+var (
+	benchRunner     *experiments.Runner
+	benchRunnerOnce sync.Once
+)
+
+func runner() *experiments.Runner {
+	benchRunnerOnce.Do(func() { benchRunner = experiments.NewRunner() })
+	return benchRunner
+}
+
+// printOnce prints the table on the first iteration only.
+func printOnce(b *testing.B, i int, f func()) {
+	if i == 0 && !testing.Short() {
+		f()
+	}
+}
+
+func BenchmarkTable1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t := runner().Table1()
+		printOnce(b, i, func() { t.Fprint(os.Stdout) })
+	}
+}
+
+func BenchmarkFig1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t := runner().Fig1()
+		printOnce(b, i, func() { t.Fprint(os.Stdout) })
+	}
+}
+
+func BenchmarkFig3a(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t := runner().Fig3a()
+		printOnce(b, i, func() { t.Fprint(os.Stdout) })
+	}
+}
+
+func BenchmarkFig3b(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t := runner().Fig3b()
+		printOnce(b, i, func() { t.Fprint(os.Stdout) })
+	}
+}
+
+func BenchmarkFig4(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t := runner().Fig4()
+		printOnce(b, i, func() { t.Fprint(os.Stdout) })
+	}
+}
+
+func BenchmarkFig6(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t := runner().Fig6()
+		printOnce(b, i, func() { t.Fprint(os.Stdout) })
+	}
+}
+
+func BenchmarkFig7(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t := runner().Fig7(500) // 500 MHz static sweep keeps the bench tractable
+		printOnce(b, i, func() { t.Fprint(os.Stdout) })
+	}
+}
+
+func BenchmarkAblationEngines(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t := runner().EngineAblation()
+		printOnce(b, i, func() { t.Fprint(os.Stdout) })
+	}
+}
+
+func BenchmarkAblationHoldOff(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t := runner().HoldOffAblation("xalan")
+		printOnce(b, i, func() { t.Fprint(os.Stdout) })
+	}
+}
+
+// --- Simulator microbenchmarks -----------------------------------------
+
+// BenchmarkSimulatorRun measures full-system simulation throughput on the
+// smallest benchmark (instructions simulated per wall second are reported
+// as a custom metric).
+func BenchmarkSimulatorRun(b *testing.B) {
+	spec, err := dacapo.ByName("pmd.scale")
+	if err != nil {
+		b.Fatal(err)
+	}
+	var instrs int64
+	for i := 0; i < b.N; i++ {
+		cfg := sim.DefaultConfig()
+		spec.Configure(&cfg)
+		res, err := sim.New(cfg).Run(dacapo.New(spec))
+		if err != nil {
+			b.Fatal(err)
+		}
+		instrs = res.TotalCounters().Instrs
+	}
+	b.ReportMetric(float64(instrs)*float64(b.N)/b.Elapsed().Seconds()/1e6, "Minstr/s")
+}
+
+func BenchmarkCacheAccess(b *testing.B) {
+	c := mem.NewCache(mem.CacheConfig{SizeBytes: 256 << 10, Ways: 8})
+	r := rng.New(1)
+	addrs := make([]mem.Addr, 4096)
+	for i := range addrs {
+		addrs[i] = mem.Addr(r.Int63n(1 << 22)).Line()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Access(addrs[i&4095], i&7 == 0)
+	}
+}
+
+func BenchmarkDRAMAccess(b *testing.B) {
+	d := mem.NewDRAM(mem.DefaultDRAMConfig())
+	r := rng.New(2)
+	addrs := make([]mem.Addr, 4096)
+	for i := range addrs {
+		addrs[i] = mem.Addr(r.Int63n(1 << 30)).Line()
+	}
+	b.ResetTimer()
+	now := units.Time(0)
+	for i := 0; i < b.N; i++ {
+		d.Access(now, addrs[i&4095], i&3 == 0)
+		now += 20 * units.Nanosecond
+	}
+}
+
+func BenchmarkCoreRunBlock(b *testing.B) {
+	hier := mem.NewHierarchy(mem.DefaultHierarchyConfig(1))
+	clock := units.NewClock(1000 * units.MHz)
+	core0 := cpu.NewCore(0, cpu.DefaultConfig(), clock, hier)
+	r := rng.New(3)
+	blk := &cpu.Block{Instrs: 16000, IPC: 2}
+	for j := int64(0); j < 16000; j += 100 {
+		blk.Events = append(blk.Events, cpu.MemEvent{
+			At:    j,
+			Addr:  mem.Addr(r.Int63n(1 << 24)).Line(),
+			Store: j%400 == 0,
+		})
+	}
+	var ctr cpu.Counters
+	b.ResetTimer()
+	now := units.Time(0)
+	for i := 0; i < b.N; i++ {
+		now = core0.Run(now, blk, &ctr)
+	}
+}
+
+func BenchmarkEpochPrediction(b *testing.B) {
+	// DEP+BURST over a realistic epoch stream (the predictor itself).
+	spec, err := dacapo.ByName("pmd.scale")
+	if err != nil {
+		b.Fatal(err)
+	}
+	res := runner().Truth(spec, 1000)
+	epochs := res.Epochs
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		core.PredictEpochs(epochs, 1000, 4000, core.Options{Burst: true})
+	}
+}
+
+func BenchmarkFutexPingPong(b *testing.B) {
+	// Kernel scheduling overhead: one wake/sleep round trip.
+	for i := 0; i < b.N; i++ {
+		cfg := sim.DefaultConfig()
+		m := sim.New(cfg)
+		m.Kern.Spawn("a", kernel.ClassApp, 0, func(e *kernel.Env) {
+			var fu kernel.Futex
+			for j := 0; j < 1000; j++ {
+				e.Wake(&fu, 1)
+			}
+		})
+		if _, err := m.Run(nullWorkload{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+type nullWorkload struct{}
+
+func (nullWorkload) Name() string         { return "null" }
+func (nullWorkload) Setup(m *sim.Machine) {}

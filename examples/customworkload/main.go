@@ -1,0 +1,156 @@
+// Customworkload: build a workload from scratch against the library's
+// primitives — kernel threads, futex-backed mutexes/barriers, managed
+// allocation, and trace profiles — then measure its DVFS scaling and
+// predict it with DEP+BURST.
+//
+// The workload is a two-stage pipeline: producers parse "documents"
+// (allocation-heavy, memory-bound) into a bounded queue; consumers index
+// them (compute-bound) with a shared dictionary lock. This is the kind of
+// application structure no whole-run model predicts well, because the
+// critical thread alternates between stages.
+package main
+
+import (
+	"fmt"
+
+	"depburst/internal/core"
+	"depburst/internal/cpu"
+	"depburst/internal/dacapo"
+	"depburst/internal/experiments"
+	"depburst/internal/jvm"
+	"depburst/internal/kernel"
+	"depburst/internal/sim"
+	"depburst/internal/trace"
+	"depburst/internal/units"
+)
+
+const (
+	docs        = 600
+	queueCap    = 8
+	parseInstrs = 24_000
+	indexInstrs = 30_000
+)
+
+type pipeline struct{}
+
+func (pipeline) Name() string { return "pipeline" }
+
+func (pipeline) Setup(m *sim.Machine) {
+	m.Kern.Spawn("main", kernel.ClassApp, -1, func(e *kernel.Env) {
+		var (
+			mu       kernel.Mutex
+			notFull  kernel.Cond
+			notEmpty kernel.Cond
+			dict     kernel.Mutex
+		)
+		queued, produced, consumed := 0, 0, 0
+		done := kernel.NewBarrier(5) // 2 producers + 2 consumers + main
+
+		parseProf := trace.Profile{
+			IPC: 1.8, LoadsPerKI: 11, StoresPerKI: 4, DepFrac: 0.2,
+			Addr: trace.RandomRegion{Base: jvm.HeapTop, Size: 6 << 20},
+		}
+		indexProf := trace.Profile{
+			IPC: 2.6, LoadsPerKI: 10, DepFrac: 0.05,
+			Addr: trace.RandomRegion{Base: jvm.HeapTop + 1<<30, Size: 192 << 10},
+		}
+
+		for p := 0; p < 2; p++ {
+			id := p
+			m.Kern.Spawn("producer", kernel.ClassApp, -1, func(e *kernel.Env) {
+				r := m.Rng.Fork(uint64(100 + id))
+				tl := &jvm.TLAB{}
+				var blk cpu.Block
+				for {
+					e.Lock(&mu)
+					if produced == docs {
+						e.Unlock(&mu)
+						break
+					}
+					produced++
+					e.Unlock(&mu)
+
+					m.JVM.Safepoint(e)
+					trace.FillBlock(&blk, parseProf, parseInstrs, r)
+					e.Compute(&blk)
+					m.JVM.Alloc(e, tl, 20_000)
+
+					e.Lock(&mu)
+					for queued == queueCap {
+						e.CondWait(&notFull, &mu)
+					}
+					queued++
+					e.CondSignal(&notEmpty)
+					e.Unlock(&mu)
+				}
+				e.BarrierWait(done)
+			})
+		}
+
+		for c := 0; c < 2; c++ {
+			id := c
+			m.Kern.Spawn("consumer", kernel.ClassApp, -1, func(e *kernel.Env) {
+				r := m.Rng.Fork(uint64(200 + id))
+				var blk cpu.Block
+				for {
+					e.Lock(&mu)
+					for queued == 0 && consumed < docs {
+						e.CondWait(&notEmpty, &mu)
+					}
+					if consumed == docs {
+						e.Unlock(&mu)
+						break
+					}
+					queued--
+					consumed++
+					last := consumed == docs
+					e.CondSignal(&notFull)
+					if last {
+						e.CondBroadcast(&notEmpty)
+					}
+					e.Unlock(&mu)
+
+					m.JVM.Safepoint(e)
+					trace.FillBlock(&blk, indexProf, indexInstrs, r)
+					e.Compute(&blk)
+
+					e.Lock(&dict)
+					trace.FillBlock(&blk, indexProf, 1_500, r)
+					e.Compute(&blk)
+					e.Unlock(&dict)
+				}
+				e.BarrierWait(done)
+			})
+		}
+		e.BarrierWait(done)
+	})
+}
+
+func main() {
+	cfg := sim.DefaultConfig()
+	results := map[units.Freq]sim.Result{}
+	for _, f := range []units.Freq{1000, 2000, 3000, 4000} {
+		c := cfg
+		c.Freq = f
+		res, err := sim.New(c).Run(pipeline{})
+		if err != nil {
+			panic(err)
+		}
+		results[f] = res
+		fmt.Printf("measured @%v: %v  (%d epochs, %d GCs, energy %v)\n",
+			f, res.Time, len(res.Epochs), res.GC.MinorGCs, res.Energy)
+	}
+
+	base := results[1000]
+	obs := experiments.Observe(&base)
+	fmt.Println()
+	for _, m := range []core.Model{core.NewMCrit(core.Options{}), core.NewDEPBurst()} {
+		for _, f := range []units.Freq{2000, 3000, 4000} {
+			pred := m.Predict(obs, f)
+			actual := results[f].Time
+			fmt.Printf("%-12s @%v: predicted %v, actual %v (%+.1f%%)\n",
+				m.Name(), f, pred, actual, 100*(float64(pred)/float64(actual)-1))
+		}
+	}
+	_ = dacapo.Suite // the stock benchmarks live in internal/dacapo
+}

@@ -1,0 +1,79 @@
+// Energymanager: run a benchmark under the DEP+BURST energy manager and
+// show the slowdown/energy trade-off plus the frequency residency the
+// governor chose — the paper's §VI case study on one workload.
+package main
+
+import (
+	"fmt"
+	"os"
+	"sort"
+
+	"depburst/internal/dacapo"
+	"depburst/internal/energy"
+	"depburst/internal/sim"
+	"depburst/internal/units"
+)
+
+func main() {
+	bench := "xalan"
+	if len(os.Args) > 1 {
+		bench = os.Args[1]
+	}
+	spec, err := dacapo.ByName(bench)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	// Reference: always at the maximum frequency.
+	cfg := sim.DefaultConfig()
+	cfg.Freq = 4000 * units.MHz
+	spec.Configure(&cfg)
+	ref, err := sim.New(cfg).Run(dacapo.New(spec))
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("reference @4GHz: time=%v energy=%v\n\n", ref.Time, ref.Energy)
+
+	for _, threshold := range []float64{0.05, 0.10} {
+		mg := energy.NewManager(energy.DefaultManagerConfig(threshold))
+		m := sim.New(cfg)
+		m.SetGovernor(mg.Governor())
+		res, err := m.Run(dacapo.New(spec))
+		if err != nil {
+			panic(err)
+		}
+		slow := 100 * (float64(res.Time)/float64(ref.Time) - 1)
+		save := 100 * (1 - float64(res.Energy)/float64(ref.Energy))
+		fmt.Printf("threshold %.0f%%: time=%v (%+.1f%% slowdown) energy=%v (%.1f%% saved), %d transitions\n",
+			threshold*100, res.Time, slow, res.Energy, save, res.Transitions)
+
+		// Frequency residency: how much time each chosen state got.
+		residency := map[units.Freq]units.Time{}
+		for _, s := range res.Samples {
+			residency[s.Freq] += s.End - s.Start
+		}
+		freqs := make([]units.Freq, 0, len(residency))
+		for f := range residency {
+			freqs = append(freqs, f)
+		}
+		sort.Slice(freqs, func(i, j int) bool { return freqs[i] < freqs[j] })
+		for _, f := range freqs {
+			frac := float64(residency[f]) / float64(res.Time)
+			if frac < 0.01 {
+				continue
+			}
+			fmt.Printf("  %8v %5.1f%%  %s\n", f, frac*100, bar(frac))
+		}
+		fmt.Println()
+	}
+}
+
+func bar(frac float64) string {
+	n := int(frac * 40)
+	out := make([]byte, n)
+	for i := range out {
+		out[i] = '#'
+	}
+	return string(out)
+}

@@ -1,0 +1,111 @@
+// Figure2: an executable version of the paper's Figure 2 — two threads, a
+// contended critical section, and the epoch decomposition DEP builds from
+// the futex activity.
+//
+// Thread t0 computes, enters a critical section, and computes again.
+// Thread t1 computes (memory-heavily), blocks on the same critical
+// section, and computes again after t0 releases it. The run prints the
+// recorded synchronization epochs (Figure 2(b)) and then compares M+CRIT's
+// naive whole-thread prediction with DEP's epoch-aware one at a higher
+// frequency (Figure 2(c)/(d)).
+package main
+
+import (
+	"fmt"
+
+	"depburst/internal/core"
+	"depburst/internal/cpu"
+	"depburst/internal/experiments"
+	"depburst/internal/kernel"
+	"depburst/internal/rng"
+	"depburst/internal/sim"
+	"depburst/internal/trace"
+	"depburst/internal/units"
+)
+
+type figure2 struct{}
+
+func (figure2) Name() string { return "figure2" }
+
+const (
+	computeInstrs = 200_000
+	csInstrs      = 120_000
+)
+
+func (figure2) Setup(m *sim.Machine) {
+	var lock kernel.Mutex
+	done := kernel.NewBarrier(3)
+
+	compute := trace.Profile{IPC: 2.0, LoadsPerKI: 2,
+		Addr: trace.RandomRegion{Base: 1 << 45, Size: 64 << 10}}
+	memory := trace.Profile{IPC: 1.6, LoadsPerKI: 12, DepFrac: 0.4,
+		Addr: trace.RandomRegion{Base: 1 << 46, Size: 32 << 20}}
+
+	run := func(e *kernel.Env, r *rng.Source, p trace.Profile, n int64) {
+		var blk cpu.Block
+		trace.FillBlock(&blk, p, n, r)
+		e.Compute(&blk)
+	}
+
+	m.Kern.Spawn("main", kernel.ClassApp, -1, func(e *kernel.Env) {
+		m.Kern.Spawn("t0", kernel.ClassApp, 0, func(e *kernel.Env) {
+			r := m.Rng.Fork(0)
+			run(e, r, compute, computeInstrs)
+			e.Lock(&lock) // t0 wins the lock (it arrives first)
+			run(e, r, compute, csInstrs)
+			e.Unlock(&lock)
+			run(e, r, compute, computeInstrs)
+			e.BarrierWait(done)
+		})
+		m.Kern.Spawn("t1", kernel.ClassApp, 1, func(e *kernel.Env) {
+			r := m.Rng.Fork(1)
+			run(e, r, memory, computeInstrs/2) // memory-bound: arrives at the lock later
+			e.Lock(&lock)                      // blocks: futex sleep -> epoch boundary
+			e.Unlock(&lock)
+			run(e, r, memory, computeInstrs/2)
+			e.BarrierWait(done)
+		})
+		e.BarrierWait(done)
+	})
+}
+
+func main() {
+	cfg := sim.DefaultConfig()
+	cfg.Freq = 1000 * units.MHz
+	base, err := sim.New(cfg).Run(figure2{})
+	if err != nil {
+		panic(err)
+	}
+
+	fmt.Printf("measured at 1 GHz: %v, %d synchronization epochs\n\n", base.Time, len(base.Epochs))
+	fmt.Println("epoch decomposition (Figure 2(b)):")
+	for i, ep := range base.Epochs {
+		fmt.Printf("  epoch %d [%9v .. %9v] ends by %-7v", i, ep.Start, ep.End, ep.EndKind)
+		if ep.StallTID != kernel.NoThread {
+			fmt.Printf(" (thread %d stalled)", ep.StallTID)
+		}
+		for _, sl := range ep.Slices {
+			fmt.Printf("  t%d: active %v, non-scaling %v", sl.TID, sl.Delta.Active, sl.Delta.CritNS)
+		}
+		fmt.Println()
+	}
+
+	cfg4 := cfg
+	cfg4.Freq = 4000 * units.MHz
+	actual, err := sim.New(cfg4).Run(figure2{})
+	if err != nil {
+		panic(err)
+	}
+
+	obs := experiments.Observe(&base)
+	fmt.Printf("\npredicting 4 GHz (actual %v):\n", actual.Time)
+	for _, m := range []core.Model{
+		core.NewMCrit(core.Options{}),
+		core.NewDEP(core.Options{Burst: true, PerEpochCTP: true}),
+		core.NewDEPBurst(),
+	} {
+		p := m.Predict(obs, 4000*units.MHz)
+		fmt.Printf("  %-22s %10v  (%+.1f%%)\n", m.Name(), p,
+			100*(float64(p)/float64(actual.Time)-1))
+	}
+}

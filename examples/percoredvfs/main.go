@@ -1,0 +1,76 @@
+// Percoredvfs: the paper's future-work direction (§VII) — per-core DVFS.
+// Runs one benchmark under the chip-wide DEP+BURST energy manager and under
+// the independent per-core manager, comparing slowdown and savings, and
+// prints each core's frequency residency under per-core control.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"depburst/internal/dacapo"
+	"depburst/internal/energy"
+	"depburst/internal/sim"
+	"depburst/internal/units"
+)
+
+func main() {
+	bench := "pmd" // the skewed benchmark: its serial tail idles three cores
+	if len(os.Args) > 1 {
+		bench = os.Args[1]
+	}
+	spec, err := dacapo.ByName(bench)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	const threshold = 0.10
+
+	cfg := sim.DefaultConfig()
+	cfg.Freq = 4000
+	spec.Configure(&cfg)
+
+	ref, err := sim.New(cfg).Run(dacapo.New(spec))
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("reference @4GHz: time=%v energy=%v\n\n", ref.Time, ref.Energy)
+
+	chip := sim.New(cfg)
+	chip.SetGovernor(energy.NewManager(energy.DefaultManagerConfig(threshold)).Governor())
+	cres, err := chip.Run(dacapo.New(spec))
+	if err != nil {
+		panic(err)
+	}
+	show("chip-wide DEP+BURST", &ref, &cres)
+
+	pc := sim.New(cfg)
+	mg := energy.NewPerCoreManager(energy.DefaultManagerConfig(threshold))
+	pc.SetCoreGovernor(mg.Governor())
+	pres, err := pc.Run(dacapo.New(spec))
+	if err != nil {
+		panic(err)
+	}
+	show("per-core (extension)", &ref, &pres)
+
+	// Per-core frequency residency.
+	fmt.Println("per-core residency (fraction of quanta below 2 GHz):")
+	low := make([]int, cfg.Cores)
+	for _, d := range mg.Decisions {
+		for i, f := range d {
+			if f < 2000*units.MHz {
+				low[i]++
+			}
+		}
+	}
+	for i, n := range low {
+		fmt.Printf("  core %d: %5.1f%%\n", i, 100*float64(n)/float64(len(mg.Decisions)))
+	}
+}
+
+func show(name string, ref *sim.Result, res *sim.Result) {
+	slow := 100 * (float64(res.Time)/float64(ref.Time) - 1)
+	save := 100 * (1 - float64(res.Energy)/float64(ref.Energy))
+	fmt.Printf("%-22s time=%v (%+.1f%%)  energy=%v (%.1f%% saved)  transitions=%d\n",
+		name, res.Time, slow, res.Energy, save, res.Transitions)
+}

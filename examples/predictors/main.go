@@ -1,0 +1,59 @@
+// Predictors: compare every DVFS predictor in the library — M+CRIT, COOP
+// and DEP, with and without BURST, plus the per-thread engine variants —
+// on one benchmark in both scaling directions, reproducing in miniature
+// the paper's Figure 3 comparison.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"depburst/internal/core"
+	"depburst/internal/dacapo"
+	"depburst/internal/experiments"
+	"depburst/internal/report"
+	"depburst/internal/units"
+)
+
+func main() {
+	bench := "xalan"
+	if len(os.Args) > 1 {
+		bench = os.Args[1]
+	}
+	spec, err := dacapo.ByName(bench)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	r := experiments.NewRunner()
+	models := []core.Model{
+		core.NewMCrit(core.Options{}),
+		core.NewMCrit(core.Options{Burst: true}),
+		core.NewCOOP(core.Options{}),
+		core.NewCOOP(core.Options{Burst: true}),
+		core.NewDEP(core.Options{}),
+		core.NewDEP(core.Options{Burst: true}),
+		core.NewDEP(core.Options{Engine: core.LeadingLoads, Burst: true}),
+		core.NewDEP(core.Options{Engine: core.StallTime, Burst: true}),
+		core.NewDEP(core.Options{Burst: true, PerEpochCTP: true}),
+	}
+
+	type dir struct {
+		name         string
+		base, target units.Freq
+	}
+	t := &report.Table{
+		Title:  bench + ": all predictors, both directions",
+		Header: []string{"model", "1GHz->4GHz", "4GHz->1GHz"},
+	}
+	for _, m := range models {
+		row := []string{m.Name()}
+		for _, d := range []dir{{"up", 1000, 4000}, {"down", 4000, 1000}} {
+			e := r.PredictionError(spec, m, d.base, d.target)
+			row = append(row, report.Pct(e))
+		}
+		t.AddRow(row...)
+	}
+	t.Fprint(os.Stdout)
+}

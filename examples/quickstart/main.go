@@ -1,0 +1,47 @@
+// Quickstart: run one benchmark on the simulated machine at 1 GHz, then
+// predict its execution time at 4 GHz with DEP+BURST and compare against a
+// real 4 GHz run.
+package main
+
+import (
+	"fmt"
+
+	"depburst/internal/core"
+	"depburst/internal/dacapo"
+	"depburst/internal/experiments"
+	"depburst/internal/sim"
+	"depburst/internal/units"
+)
+
+func main() {
+	spec, err := dacapo.ByName("lusearch")
+	if err != nil {
+		panic(err)
+	}
+
+	// Run the benchmark at the 1 GHz base frequency.
+	cfg := sim.DefaultConfig()
+	cfg.Freq = 1000 * units.MHz
+	spec.Configure(&cfg)
+	base, err := sim.New(cfg).Run(dacapo.New(spec))
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("measured at %v: %v (%d synchronization epochs, %d GCs)\n",
+		base.Freq, base.Time, len(base.Epochs), base.GC.MinorGCs+base.GC.MajorGCs)
+
+	// Predict 4 GHz from the 1 GHz observation.
+	model := core.NewDEPBurst()
+	obs := experiments.Observe(&base)
+	predicted := model.Predict(obs, 4000*units.MHz)
+	fmt.Printf("%s predicts at 4 GHz: %v\n", model.Name(), predicted)
+
+	// Check against ground truth.
+	cfg.Freq = 4000 * units.MHz
+	actual, err := sim.New(cfg).Run(dacapo.New(spec))
+	if err != nil {
+		panic(err)
+	}
+	errPct := 100 * (float64(predicted)/float64(actual.Time) - 1)
+	fmt.Printf("measured at 4 GHz: %v (prediction error %+.1f%%)\n", actual.Time, errPct)
+}

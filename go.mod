@@ -1,0 +1,3 @@
+module depburst
+
+go 1.22

@@ -1,0 +1,57 @@
+package core_test
+
+import (
+	"fmt"
+
+	"depburst/internal/core"
+	"depburst/internal/cpu"
+	"depburst/internal/kernel"
+	"depburst/internal/units"
+)
+
+// ExampleDEP_Predict predicts a two-epoch observation at other
+// frequencies: the compute epoch scales, the memory-bound epoch does not.
+func ExampleDEP_Predict() {
+	obs := &core.Observation{
+		Base:  1000 * units.MHz, // measured at 1 GHz
+		Total: 4000,             // picoseconds
+		Epochs: []kernel.Epoch{
+			// Epoch 1: one thread, pure compute for 2000 ps.
+			{Start: 0, End: 2000, Slices: []kernel.ThreadSlice{
+				{TID: 0, Delta: cpu.Counters{Active: 2000}},
+			}},
+			// Epoch 2: the same thread, all 2000 ps waiting on memory.
+			{Start: 2000, End: 4000, Slices: []kernel.ThreadSlice{
+				{TID: 0, Delta: cpu.Counters{Active: 2000, CritNS: 2000}},
+			}},
+		},
+	}
+	model := core.NewDEPBurst()
+	fmt.Println("at 2 GHz:", model.Predict(obs, 2000*units.MHz))
+	fmt.Println("at 1 GHz:", model.Predict(obs, 1000*units.MHz))
+	// Output:
+	// at 2 GHz: 3.000ns
+	// at 1 GHz: 4.000ns
+}
+
+// ExamplePredictEpochs shows Algorithm 1's across-epoch slack carrying: a
+// thread that finishes early in epoch 1 absorbs that wait when it becomes
+// critical in epoch 2, which per-epoch prediction cannot express.
+func ExamplePredictEpochs() {
+	slice := func(tid kernel.ThreadID, active, nonScaling units.Time) kernel.ThreadSlice {
+		return kernel.ThreadSlice{TID: tid, Delta: cpu.Counters{Active: active, CritNS: nonScaling}}
+	}
+	epochs := []kernel.Epoch{
+		{Start: 0, End: 2000, EndKind: kernel.BoundaryWake, StallTID: kernel.NoThread,
+			Slices: []kernel.ThreadSlice{slice(0, 2000, 0), slice(1, 2000, 1600)}},
+		{Start: 2000, End: 4000, EndKind: kernel.BoundaryExit, StallTID: 0,
+			Slices: []kernel.ThreadSlice{slice(0, 2000, 2000), slice(1, 2000, 0)}},
+	}
+	across := core.PredictEpochs(epochs, 1000, 4000, core.Options{})
+	per := core.PredictEpochs(epochs, 1000, 4000, core.Options{PerEpochCTP: true})
+	fmt.Println("across-epoch CTP:", across)
+	fmt.Println("per-epoch CTP:  ", per)
+	// Output:
+	// across-epoch CTP: 2.500ns
+	// per-epoch CTP:   3.700ns
+}

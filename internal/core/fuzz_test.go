@@ -1,0 +1,76 @@
+package core
+
+import (
+	"testing"
+
+	"depburst/internal/cpu"
+	"depburst/internal/kernel"
+	"depburst/internal/units"
+)
+
+// FuzzPredictEpochs feeds arbitrary (but well-formed) epoch streams to the
+// DEP aggregation and checks its safety invariants: non-negative
+// predictions, exact identity at the base frequency for fully-active
+// epochs, and per-epoch >= across-epoch never being violated by more than
+// the carried slack allows (predictions stay finite and ordered with
+// frequency).
+func FuzzPredictEpochs(f *testing.F) {
+	f.Add(uint64(1), uint8(3), uint16(2000), uint16(500), false)
+	f.Add(uint64(9), uint8(8), uint16(100), uint16(100), true)
+	f.Fuzz(func(t *testing.T, seed uint64, nEpochs uint8, durRaw, nsRaw uint16, burst bool) {
+		n := int(nEpochs%12) + 1
+		var epochs []kernel.Epoch
+		var at units.Time
+		s := seed
+		next := func(mod int64) int64 {
+			s = s*6364136223846793005 + 1442695040888963407
+			v := int64(s>>33) % mod
+			if v < 0 {
+				v = -v
+			}
+			return v
+		}
+		for i := 0; i < n; i++ {
+			dur := units.Time(durRaw%5000) + units.Time(next(3000)) + 1
+			var slices []kernel.ThreadSlice
+			for tid := 0; tid < int(next(4))+1; tid++ {
+				ns := units.Time(nsRaw) % dur
+				slices = append(slices, kernel.ThreadSlice{
+					TID: kernel.ThreadID(tid),
+					Delta: cpu.Counters{
+						Active: dur,
+						CritNS: ns,
+						SQFull: units.Time(next(int64(dur))),
+					},
+				})
+			}
+			stall := kernel.NoThread
+			if next(2) == 1 {
+				stall = kernel.ThreadID(next(4))
+			}
+			epochs = append(epochs, kernel.Epoch{
+				Start: at, End: at + dur, StallTID: stall, Slices: slices,
+			})
+			at += dur
+		}
+
+		opts := Options{Burst: burst}
+		for _, target := range []units.Freq{500, 1000, 2000, 4000} {
+			across := PredictEpochs(epochs, 1000, target, opts)
+			per := PredictEpochs(epochs, 1000, target, Options{Burst: burst, PerEpochCTP: true})
+			if across < 0 || per < 0 {
+				t.Fatalf("negative prediction: across=%v per=%v", across, per)
+			}
+			if across > per {
+				t.Fatalf("across-epoch (%v) exceeded per-epoch (%v): slack can only shrink epochs", across, per)
+			}
+		}
+
+		// Identity: every epoch is fully active, so the prediction at
+		// the base frequency must equal the measured duration exactly.
+		total := at
+		if got := PredictEpochs(epochs, 1000, 1000, opts); got != total {
+			t.Fatalf("identity broken: predicted %v, measured %v", got, total)
+		}
+	})
+}

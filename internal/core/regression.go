@@ -1,0 +1,94 @@
+package core
+
+import (
+	"fmt"
+
+	"depburst/internal/units"
+)
+
+// Regression is the related-work baseline family the paper contrasts with
+// (§VII-A): instead of analytical counters, fit the two-component law
+// T(f) = S·f0/f + N offline from measured runs at two or more training
+// frequencies, then interpolate/extrapolate. It needs no special hardware
+// counters but one extra profiling run per application — exactly the
+// trade-off the paper describes.
+//
+// Regression sees only total execution times, so unlike DEP it cannot
+// react to phase behaviour or epoch structure; its accuracy depends
+// entirely on how stationary the workload is between runs.
+type Regression struct {
+	// scaling and nonScaling are the fitted components, normalised to
+	// refFreq.
+	scaling    float64
+	nonScaling float64
+	refFreq    units.Freq
+}
+
+// TrainingPoint is one measured (frequency, execution time) observation.
+type TrainingPoint struct {
+	Freq units.Freq
+	Time units.Time
+}
+
+// FitRegression least-squares fits the two-component DVFS law to measured
+// points. At least two distinct frequencies are required.
+func FitRegression(points []TrainingPoint) (*Regression, error) {
+	if len(points) < 2 {
+		return nil, fmt.Errorf("core: regression needs >= 2 training points, got %d", len(points))
+	}
+	ref := points[0].Freq
+	if ref <= 0 {
+		return nil, fmt.Errorf("core: non-positive training frequency")
+	}
+	// Model: T = S*(ref/f) + N. Linear least squares in x = ref/f.
+	var sx, sy, sxx, sxy float64
+	distinct := false
+	for _, p := range points {
+		if p.Freq <= 0 || p.Time < 0 {
+			return nil, fmt.Errorf("core: invalid training point %+v", p)
+		}
+		if p.Freq != ref {
+			distinct = true
+		}
+		x := float64(ref) / float64(p.Freq)
+		y := float64(p.Time)
+		sx += x
+		sy += y
+		sxx += x * x
+		sxy += x * y
+	}
+	if !distinct {
+		return nil, fmt.Errorf("core: training points share one frequency")
+	}
+	n := float64(len(points))
+	den := n*sxx - sx*sx
+	if den == 0 {
+		return nil, fmt.Errorf("core: degenerate training set")
+	}
+	s := (n*sxy - sx*sy) / den
+	b := (sy - s*sx) / n
+	return &Regression{scaling: s, nonScaling: b, refFreq: ref}, nil
+}
+
+// Name implements Model.
+func (r *Regression) Name() string { return "REGRESSION" }
+
+// Components returns the fitted scaling and non-scaling times at the
+// reference frequency (diagnostics; the non-scaling part may be negative
+// if the training runs were noisy).
+func (r *Regression) Components() (scaling, nonScaling units.Time, ref units.Freq) {
+	return units.Time(r.scaling), units.Time(r.nonScaling), r.refFreq
+}
+
+// Predict implements Model. The observation is ignored: a regression
+// model's knowledge lives entirely in its training points.
+func (r *Regression) Predict(_ *Observation, target units.Freq) units.Time {
+	if target <= 0 {
+		return 0
+	}
+	t := r.scaling*float64(r.refFreq)/float64(target) + r.nonScaling
+	if t < 0 {
+		t = 0
+	}
+	return units.Time(t)
+}

@@ -1,0 +1,88 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"depburst/internal/units"
+)
+
+func TestRegressionExactFit(t *testing.T) {
+	// Ground truth: S=6000 at 1 GHz, N=2000.
+	truth := func(f units.Freq) units.Time {
+		return units.Time(6000*1000/int64(f)) + 2000
+	}
+	points := []TrainingPoint{
+		{Freq: 1000, Time: truth(1000)},
+		{Freq: 2000, Time: truth(2000)},
+	}
+	r, err := FitRegression(points)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range []units.Freq{1000, 1500, 2000, 3000, 4000} {
+		got := r.Predict(nil, f)
+		want := truth(f)
+		if got < want-2 || got > want+2 {
+			t.Errorf("predict %v: %v, want %v", f, got, want)
+		}
+	}
+	s, n, ref := r.Components()
+	if ref != 1000 || s < 5998 || s > 6002 || n < 1998 || n > 2002 {
+		t.Errorf("components s=%v n=%v ref=%v", s, n, ref)
+	}
+}
+
+func TestRegressionLeastSquaresOverdetermined(t *testing.T) {
+	// Three points with slight noise: the fit must land between them.
+	points := []TrainingPoint{
+		{Freq: 1000, Time: 8100},
+		{Freq: 2000, Time: 5000},
+		{Freq: 4000, Time: 3450},
+	}
+	r, err := FitRegression(points)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := r.Predict(nil, 3000)
+	if got < 3500 || got > 4600 {
+		t.Errorf("interpolated prediction %v outside plausible band", got)
+	}
+}
+
+func TestRegressionRejections(t *testing.T) {
+	if _, err := FitRegression(nil); err == nil {
+		t.Error("empty training set accepted")
+	}
+	if _, err := FitRegression([]TrainingPoint{{Freq: 1000, Time: 10}}); err == nil {
+		t.Error("single point accepted")
+	}
+	if _, err := FitRegression([]TrainingPoint{
+		{Freq: 1000, Time: 10}, {Freq: 1000, Time: 12},
+	}); err == nil {
+		t.Error("single-frequency training accepted")
+	}
+	if _, err := FitRegression([]TrainingPoint{
+		{Freq: 0, Time: 10}, {Freq: 1000, Time: 12},
+	}); err == nil {
+		t.Error("zero frequency accepted")
+	}
+}
+
+func TestRegressionNeverNegative(t *testing.T) {
+	err := quick.Check(func(t1, t2 uint32, f uint16) bool {
+		pts := []TrainingPoint{
+			{Freq: 1000, Time: units.Time(t1 % 1_000_000)},
+			{Freq: 4000, Time: units.Time(t2 % 1_000_000)},
+		}
+		r, err := FitRegression(pts)
+		if err != nil {
+			return true
+		}
+		target := units.Freq(f%4000) + 500
+		return r.Predict(nil, target) >= 0
+	}, nil)
+	if err != nil {
+		t.Error(err)
+	}
+}

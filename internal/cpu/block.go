@@ -1,0 +1,66 @@
+package cpu
+
+import (
+	"fmt"
+
+	"depburst/internal/mem"
+)
+
+// MemEvent is one memory operation within a Block that missed the L1 cache
+// and therefore must be presented to the shared hierarchy.
+type MemEvent struct {
+	// At is the dynamic instruction index within the block at which the
+	// operation appears. Events must be sorted by At.
+	At int64
+	// Addr is the line-granularity physical address.
+	Addr mem.Addr
+	// Store marks the event as a store (drains through the store queue).
+	Store bool
+	// DepPrev marks a load whose address depends on the previous
+	// long-latency load in program order (pointer chasing): it cannot
+	// issue until that load completes, extending the critical path.
+	DepPrev bool
+}
+
+// Block is a segment of a thread's dynamic instruction stream, the unit of
+// work the core model simulates in one call. Workload programs compile
+// themselves into a sequence of blocks.
+type Block struct {
+	// Instrs is the number of dynamic instructions in the block.
+	Instrs int64
+	// IPC is the dispatch/commit rate, in instructions per cycle, the
+	// block sustains in the absence of misses (its inherent ILP, capped
+	// by the core's dispatch width).
+	IPC float64
+	// Events are the L1-missing memory operations, sorted by At.
+	Events []MemEvent
+}
+
+// Validate reports whether the block is well-formed: positive instruction
+// count and IPC, events sorted and within range.
+func (b *Block) Validate() error {
+	if b.Instrs <= 0 {
+		return fmt.Errorf("cpu: block has %d instructions", b.Instrs)
+	}
+	if b.IPC <= 0 {
+		return fmt.Errorf("cpu: block has non-positive IPC %g", b.IPC)
+	}
+	prev := int64(-1)
+	for i, e := range b.Events {
+		if e.At < 0 || e.At >= b.Instrs {
+			return fmt.Errorf("cpu: event %d at index %d outside block of %d instructions", i, e.At, b.Instrs)
+		}
+		if e.At < prev {
+			return fmt.Errorf("cpu: event %d unsorted (at %d after %d)", i, e.At, prev)
+		}
+		prev = e.At
+	}
+	return nil
+}
+
+// Reset clears the block for reuse, keeping event capacity.
+func (b *Block) Reset() {
+	b.Instrs = 0
+	b.IPC = 0
+	b.Events = b.Events[:0]
+}

@@ -1,0 +1,322 @@
+package cpu
+
+import (
+	"math"
+
+	"depburst/internal/mem"
+	"depburst/internal/units"
+)
+
+// Config describes one out-of-order core. The defaults follow the paper's
+// Haswell i7-4770K-like setup (Table II).
+type Config struct {
+	// DispatchWidth is the maximum instructions dispatched/committed per
+	// cycle; it also caps a block's effective IPC.
+	DispatchWidth int
+	// ROBSize bounds how far dispatch runs ahead of a stalled commit, and
+	// therefore how many misses can overlap in one cluster.
+	ROBSize int
+	// StoreQueueSize is the number of committed-but-unretired stores the
+	// core can buffer before commit stalls on the next store.
+	StoreQueueSize int
+	// MSHRs limits concurrently outstanding demand misses.
+	MSHRs int
+	// L2HitCycles is the visible penalty of an L1-miss/L2-hit load, in
+	// core cycles (partially hidden by out-of-order execution).
+	L2HitCycles int64
+	// SQDrainL2Cycles is the store-queue drain occupancy of a store that
+	// hits in the L2, in core cycles.
+	SQDrainL2Cycles int64
+}
+
+// DefaultConfig returns the Table II core: 4-wide out-of-order, 192-entry
+// ROB, 42-entry store queue, 10 MSHRs.
+func DefaultConfig() Config {
+	return Config{
+		DispatchWidth:   4,
+		ROBSize:         192,
+		StoreQueueSize:  42,
+		MSHRs:           10,
+		L2HitCycles:     8,
+		SQDrainL2Cycles: 2,
+	}
+}
+
+// Core simulates one out-of-order core at interval-model granularity. A
+// core is driven by the kernel: whichever thread is scheduled on the core
+// passes its blocks to Run, along with its own counters.
+type Core struct {
+	id    int
+	cfg   Config
+	clock *units.Clock
+	hier  *mem.Hierarchy
+
+	// total accumulates the work executed on this core regardless of
+	// which thread ran it; per-core DVFS governors read it.
+	total Counters
+
+	// sq holds completion times of outstanding (committed, not yet
+	// retired) stores in FIFO order. Completion times are monotonically
+	// non-decreasing because the drain is in-order.
+	sq []float64
+
+	// scratch buffer for outstanding miss completion times (MSHR model).
+	outstanding []float64
+}
+
+// NewCore builds a core. The clock is shared with the DVFS controller: a
+// frequency change takes effect for every subsequently simulated block.
+func NewCore(id int, cfg Config, clock *units.Clock, hier *mem.Hierarchy) *Core {
+	if cfg.DispatchWidth <= 0 || cfg.ROBSize <= 0 || cfg.StoreQueueSize <= 0 || cfg.MSHRs <= 0 {
+		panic("cpu: invalid core configuration")
+	}
+	return &Core{id: id, cfg: cfg, clock: clock, hier: hier}
+}
+
+// ID returns the core's index.
+func (c *Core) ID() int { return c.id }
+
+// Clock returns the core's clock (shared for chip-wide DVFS).
+func (c *Core) Clock() *units.Clock { return c.clock }
+
+// Config returns the core configuration.
+func (c *Core) Config() Config { return c.cfg }
+
+// Counters returns the work executed on this core so far (all threads).
+// Its Active field is maintained by the kernel via AddActive.
+func (c *Core) Counters() Counters { return c.total }
+
+// AddActive accrues scheduled time on this core (called by the kernel
+// alongside per-thread active-time accounting).
+func (c *Core) AddActive(d units.Time) { c.total.Active += d }
+
+// Run simulates block b starting at time start, accumulating performance
+// counters into ctr, and returns the completion time. The block's memory
+// events flow through the shared hierarchy, so concurrent cores interact
+// through cache and DRAM state.
+func (c *Core) Run(start units.Time, b *Block, ctr *Counters) units.Time {
+	// Mirror this block's counter deltas into the per-core totals (Run
+	// never touches Active, which AddActive owns).
+	pre := *ctr
+	defer func() { c.total.Add(ctr.Sub(pre)) }()
+	period := 1e6 / float64(c.clock.Freq()) // picoseconds per cycle
+	ipc := b.IPC
+	if w := float64(c.cfg.DispatchWidth); ipc > w {
+		ipc = w
+	}
+	instrPs := period / ipc // picoseconds per committed instruction
+	// Dispatch runs ahead of a stalled commit at full width.
+	dispatchPs := period / float64(c.cfg.DispatchWidth)
+
+	t := float64(start)
+	c.drainSQ(t)
+	var idx int64 // instructions committed so far
+	i := 0
+	for i < len(b.Events) {
+		e := b.Events[i]
+		t += float64(e.At-idx) * instrPs
+		idx = e.At
+		c.drainSQ(t)
+
+		if e.Store {
+			t = c.commitStore(t, e.Addr, ctr)
+			idx++
+			i++
+			continue
+		}
+
+		res := c.hier.Load(units.Time(t), c.id, e.Addr)
+		if res.Level == mem.LevelL2 {
+			ctr.LoadsL2++
+			t += float64(c.cfg.L2HitCycles) * period
+			idx++
+			i++
+			continue
+		}
+		// Long-latency load: gather the in-ROB miss cluster.
+		t, idx, i = c.cluster(t, b, i, res, dispatchPs, ctr)
+	}
+	t += float64(b.Instrs-idx) * instrPs
+	ctr.Instrs += b.Instrs
+
+	end := units.Time(math.Ceil(t))
+	if end < start {
+		end = start
+	}
+	return end
+}
+
+// cluster simulates a cluster of long-latency loads headed by event i whose
+// hierarchy result is headRes. It returns the new time, committed
+// instruction index, and next event index.
+//
+// Timing: the head load blocks commit; dispatch continues filling the ROB,
+// issuing independent loads underneath (bounded by MSHRs) while dependent
+// loads wait for their producer. Commit resumes once the slowest load in
+// the cluster returns, and the instructions dispatched underneath commit in
+// a burst (modelled as free).
+//
+// Counters: CRIT accumulates the longest dependent chain's total latency;
+// Leading Loads accumulates only the head load's latency; Stall Time
+// accumulates the portion of the stall not covered by dispatch progress.
+func (c *Core) cluster(t float64, b *Block, i int, headRes mem.Result, dispatchPs float64, ctr *Counters) (float64, int64, int) {
+	head := b.Events[i]
+	t0 := t
+	winEnd := head.At + int64(c.cfg.ROBSize)
+
+	countLevel(ctr, headRes.Level)
+	d0 := float64(headRes.Done)
+	maxDone := d0
+	chainEnd := d0       // completion time of the current dependence chain
+	chainPath := d0 - t0 // accumulated latency along the current chain
+	maxChainPath := chainPath
+	leadLat := d0 - t0
+
+	c.outstanding = append(c.outstanding[:0], d0)
+	lastAt := head.At
+
+	j := i + 1
+	for j < len(b.Events) {
+		e := b.Events[j]
+		if e.Store || e.At >= winEnd {
+			break
+		}
+		issue := t0 + float64(e.At-head.At)*dispatchPs
+		if e.DepPrev {
+			// Pointer chase: the address comes from the previous
+			// long-latency load.
+			if issue < chainEnd {
+				issue = chainEnd
+			}
+		}
+		// MSHR limit: wait for the oldest outstanding miss to retire.
+		if len(c.outstanding) >= c.cfg.MSHRs {
+			if m := popMin(&c.outstanding); issue < m {
+				issue = m
+			}
+		}
+		res := c.hier.Load(units.Time(issue), c.id, e.Addr)
+		if res.Level == mem.LevelL2 {
+			ctr.LoadsL2++
+			j++
+			continue
+		}
+		countLevel(ctr, res.Level)
+		done := float64(res.Done)
+		lat := done - issue
+		if e.DepPrev {
+			chainPath += lat
+		} else {
+			chainPath = lat
+		}
+		chainEnd = done
+		if chainPath > maxChainPath {
+			maxChainPath = chainPath
+		}
+		if done > maxDone {
+			maxDone = done
+		}
+		c.outstanding = append(c.outstanding, done)
+		lastAt = e.At
+		j++
+	}
+
+	// Ground truth: commit resumes when every load has returned; the
+	// instructions dispatched under the stall commit in a burst.
+	covered := float64(lastAt-head.At) * dispatchPs
+	end := maxDone
+	if min := t0 + covered; end < min {
+		end = min
+	}
+
+	ctr.CritNS += units.Time(maxChainPath)
+	ctr.LeadNS += units.Time(leadLat)
+	if stall := (end - t0) - covered; stall > 0 {
+		ctr.StallNS += units.Time(stall)
+	}
+	return end, lastAt + 1, j
+}
+
+// commitStore models a store reaching the commit head at time t. If the
+// store queue is full, commit stalls until the oldest store retires; that
+// stall is the BURST counter. The store then occupies a queue slot until
+// the memory hierarchy retires it.
+func (c *Core) commitStore(t float64, addr mem.Addr, ctr *Counters) float64 {
+	if len(c.sq) >= c.cfg.StoreQueueSize {
+		wake := c.sq[0]
+		if wake > t {
+			ctr.SQFull += units.Time(wake - t)
+			t = wake
+		}
+		c.drainSQ(t)
+		// Guard against pathological zero-latency retires.
+		if len(c.sq) >= c.cfg.StoreQueueSize {
+			c.sq = c.sq[1:]
+		}
+	}
+
+	// Stores drain through fill buffers as soon as they commit; the
+	// memory system's bus and bank occupancy — not the store latency —
+	// bounds the drain rate, so bursts are bandwidth-limited. Retirement
+	// is in order, so completion times are made monotone.
+	res := c.hier.Store(units.Time(t), c.id, addr)
+	var done float64
+	if res.Level == mem.LevelL2 {
+		period := 1e6 / float64(c.clock.Freq())
+		done = t + float64(c.cfg.SQDrainL2Cycles)*period
+		if n := len(c.sq); n > 0 {
+			// L2 drain port is serial.
+			prev := c.sq[n-1] + float64(c.cfg.SQDrainL2Cycles)*period
+			if done < prev {
+				done = prev
+			}
+		}
+	} else {
+		done = float64(res.Done)
+		if res.Level == mem.LevelDRAM {
+			ctr.StoresDRAM++
+		}
+	}
+	if n := len(c.sq); n > 0 && done < c.sq[n-1] {
+		done = c.sq[n-1] // in-order retirement
+	}
+	c.sq = append(c.sq, done)
+	ctr.Stores++
+	return t
+}
+
+func (c *Core) drainSQ(t float64) {
+	n := 0
+	for n < len(c.sq) && c.sq[n] <= t {
+		n++
+	}
+	if n > 0 {
+		c.sq = c.sq[:copy(c.sq, c.sq[n:])]
+	}
+}
+
+// SQOccupancy reports the current number of outstanding stores (for tests).
+func (c *Core) SQOccupancy() int { return len(c.sq) }
+
+func countLevel(ctr *Counters, l mem.Level) {
+	switch l {
+	case mem.LevelL3:
+		ctr.LoadsL3++
+	case mem.LevelDRAM:
+		ctr.LoadsDRAM++
+	}
+}
+
+func popMin(s *[]float64) float64 {
+	v := *s
+	mi := 0
+	for i := 1; i < len(v); i++ {
+		if v[i] < v[mi] {
+			mi = i
+		}
+	}
+	m := v[mi]
+	v[mi] = v[len(v)-1]
+	*s = v[:len(v)-1]
+	return m
+}

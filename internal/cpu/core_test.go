@@ -1,0 +1,313 @@
+package cpu
+
+import (
+	"testing"
+	"testing/quick"
+
+	"depburst/internal/mem"
+	"depburst/internal/units"
+)
+
+func testCore(f units.Freq) (*Core, *mem.Hierarchy) {
+	hier := mem.NewHierarchy(mem.DefaultHierarchyConfig(1))
+	clock := units.NewClock(f)
+	return NewCore(0, DefaultConfig(), clock, hier), hier
+}
+
+func computeBlock(instrs int64, ipc float64) *Block {
+	return &Block{Instrs: instrs, IPC: ipc}
+}
+
+func TestComputeOnlyTiming(t *testing.T) {
+	core, _ := testCore(1000 * units.MHz)
+	var ctr Counters
+	end := core.Run(0, computeBlock(10_000, 2.0), &ctr)
+	// 10k instrs at IPC 2 at 1 GHz = 5000 cycles = 5 µs.
+	want := 5 * units.Microsecond
+	if end < want-units.Nanosecond || end > want+units.Nanosecond {
+		t.Errorf("compute block took %v, want ~%v", end, want)
+	}
+	if ctr.Instrs != 10_000 {
+		t.Errorf("instrs %d", ctr.Instrs)
+	}
+}
+
+func TestComputeScalesWithFrequency(t *testing.T) {
+	c1, _ := testCore(1000 * units.MHz)
+	c4, _ := testCore(4000 * units.MHz)
+	var a, b Counters
+	t1 := c1.Run(0, computeBlock(100_000, 2.0), &a)
+	t4 := c4.Run(0, computeBlock(100_000, 2.0), &b)
+	ratio := float64(t1) / float64(t4)
+	if ratio < 3.99 || ratio > 4.01 {
+		t.Errorf("pure compute 1GHz/4GHz ratio %v, want 4", ratio)
+	}
+}
+
+func TestIPCCappedByWidth(t *testing.T) {
+	core, _ := testCore(1000 * units.MHz)
+	var ctr Counters
+	end := core.Run(0, computeBlock(8_000, 100), &ctr) // IPC capped at 4
+	want := units.Time(8_000/4) * units.Nanosecond
+	if end < want-units.Nanosecond || end > want+units.Nanosecond {
+		t.Errorf("width-capped block took %v, want ~%v", end, want)
+	}
+}
+
+func TestSingleMissCost(t *testing.T) {
+	core, hier := testCore(1000 * units.MHz)
+	var ctr Counters
+	blk := &Block{
+		Instrs: 1000, IPC: 2.0,
+		Events: []MemEvent{{At: 500, Addr: 0x100000}},
+	}
+	end := core.Run(0, blk, &ctr)
+	if ctr.LoadsDRAM != 1 {
+		t.Fatalf("DRAM loads %d, want 1", ctr.LoadsDRAM)
+	}
+	// Time must be compute time plus roughly the memory latency.
+	compute := 500 * units.Nanosecond
+	lat := hier.DRAM().AvgLatency() + hier.Config().L3Latency
+	if end < compute+lat/2 || end > compute+2*lat+units.Microsecond {
+		t.Errorf("single-miss block took %v (compute %v, lat %v)", end, compute, lat)
+	}
+	if ctr.CritNS <= 0 || ctr.LeadNS <= 0 {
+		t.Errorf("counters: crit=%v lead=%v", ctr.CritNS, ctr.LeadNS)
+	}
+}
+
+func TestIndependentMissesOverlap(t *testing.T) {
+	// Two independent misses within the ROB window overlap: the block
+	// must be much cheaper than two dependent misses.
+	mk := func(dep bool) units.Time {
+		core, _ := testCore(1000 * units.MHz)
+		var ctr Counters
+		blk := &Block{
+			Instrs: 240, IPC: 2.0,
+			Events: []MemEvent{
+				{At: 100, Addr: 0x100000},
+				{At: 110, Addr: 0x200040, DepPrev: dep},
+			},
+		}
+		return core.Run(0, blk, &ctr)
+	}
+	indep := mk(false)
+	dep := mk(true)
+	if dep <= indep {
+		t.Errorf("dependent misses (%v) not slower than independent (%v)", dep, indep)
+	}
+	if float64(dep) < 1.25*float64(indep) {
+		t.Errorf("dependent/independent ratio %v too small", float64(dep)/float64(indep))
+	}
+}
+
+func TestCRITTracksChain(t *testing.T) {
+	// A chain of dependent misses: CRIT must accumulate roughly the sum
+	// of their latencies, and exceed Leading Loads (which counts only the
+	// head's).
+	core, _ := testCore(1000 * units.MHz)
+	var ctr Counters
+	ev := make([]MemEvent, 4)
+	for i := range ev {
+		ev[i] = MemEvent{At: int64(100 + i*10), Addr: mem.Addr(0x100000 + i*0x100000), DepPrev: i > 0}
+	}
+	core.Run(0, &Block{Instrs: 1000, IPC: 2.0, Events: ev}, &ctr)
+	if ctr.CritNS <= ctr.LeadNS {
+		t.Errorf("CRIT %v should exceed LeadingLoads %v for a dependent chain", ctr.CritNS, ctr.LeadNS)
+	}
+	if ctr.CritNS < 3*ctr.LeadNS {
+		t.Errorf("CRIT %v should be ~4x LeadingLoads %v", ctr.CritNS, ctr.LeadNS)
+	}
+}
+
+func TestCountersBoundedByElapsed(t *testing.T) {
+	// No non-scaling counter may exceed the elapsed time of the block.
+	core, _ := testCore(2000 * units.MHz)
+	var ctr Counters
+	ev := []MemEvent{}
+	for i := int64(0); i < 50; i++ {
+		ev = append(ev, MemEvent{At: i * 100, Addr: mem.Addr(0x100000 + i*64*1024), DepPrev: i%3 == 0})
+	}
+	end := core.Run(0, &Block{Instrs: 5000, IPC: 2.0, Events: ev}, &ctr)
+	for name, v := range map[string]units.Time{"crit": ctr.CritNS, "lead": ctr.LeadNS, "stall": ctr.StallNS} {
+		if v > end {
+			t.Errorf("%s counter %v exceeds elapsed %v", name, v, end)
+		}
+	}
+}
+
+func TestStoreBurstFillsQueueAndStalls(t *testing.T) {
+	core, _ := testCore(4000 * units.MHz)
+	var ctr Counters
+	// 512 sequential cold store lines: far more than the 42-entry queue
+	// can hold; drain is DRAM-bandwidth-bound at any frequency.
+	ev := make([]MemEvent, 512)
+	for i := range ev {
+		ev[i] = MemEvent{At: int64(i * 2), Addr: mem.Addr(0x100000 + i*64), Store: true}
+	}
+	end := core.Run(0, &Block{Instrs: 1024, IPC: 2.0, Events: ev}, &ctr)
+	if ctr.SQFull <= 0 {
+		t.Fatal("store burst did not stall on a full store queue")
+	}
+	if ctr.Stores != 512 {
+		t.Errorf("stores %d", ctr.Stores)
+	}
+	// The burst is bandwidth-bound: elapsed must be at least
+	// (512-queue) x TBurst.
+	minDrain := units.Time(512-DefaultConfig().StoreQueueSize) * 2500
+	if end < minDrain {
+		t.Errorf("burst took %v, bandwidth bound is %v", end, minDrain)
+	}
+}
+
+func TestStoreBurstStallIsNonScaling(t *testing.T) {
+	// The same store burst at 1 and 4 GHz must take roughly the same
+	// wall time (drain-limited), with the 4 GHz run seeing more SQ-full
+	// stall.
+	run := func(f units.Freq) (units.Time, Counters) {
+		core, _ := testCore(f)
+		var ctr Counters
+		ev := make([]MemEvent, 512)
+		for i := range ev {
+			ev[i] = MemEvent{At: int64(i * 2), Addr: mem.Addr(0x100000 + i*64), Store: true}
+		}
+		end := core.Run(0, &Block{Instrs: 1024, IPC: 2.0, Events: ev}, &ctr)
+		return end, ctr
+	}
+	t1, c1 := run(1000 * units.MHz)
+	t4, c4 := run(4000 * units.MHz)
+	if ratio := float64(t1) / float64(t4); ratio > 1.6 {
+		t.Errorf("store burst scaled with frequency: 1GHz %v vs 4GHz %v", t1, t4)
+	}
+	if c4.SQFull <= c1.SQFull {
+		t.Errorf("SQ-full at 4GHz (%v) not larger than at 1GHz (%v)", c4.SQFull, c1.SQFull)
+	}
+}
+
+func TestSQDrainsOverTime(t *testing.T) {
+	core, _ := testCore(1000 * units.MHz)
+	var ctr Counters
+	ev := make([]MemEvent, 8)
+	for i := range ev {
+		ev[i] = MemEvent{At: int64(i), Addr: mem.Addr(0x100000 + i*64), Store: true}
+	}
+	core.Run(0, &Block{Instrs: 16, IPC: 2.0, Events: ev}, &ctr)
+	if core.SQOccupancy() == 0 {
+		t.Skip("stores retired within the block")
+	}
+	// A long compute block later should find the queue drained.
+	core.Run(100*units.Microsecond, computeBlock(1000, 2.0), &ctr)
+	if core.SQOccupancy() != 0 {
+		t.Errorf("SQ still holds %d entries long after the burst", core.SQOccupancy())
+	}
+}
+
+func TestL2HitsAreCheap(t *testing.T) {
+	core, _ := testCore(1000 * units.MHz)
+	var ctr Counters
+	// Warm a line, then hit it many times.
+	warm := &Block{Instrs: 10, IPC: 2, Events: []MemEvent{{At: 0, Addr: 0x100000}}}
+	end := core.Run(0, warm, &ctr)
+	ev := make([]MemEvent, 32)
+	for i := range ev {
+		ev[i] = MemEvent{At: int64(i * 10), Addr: 0x100000}
+	}
+	before := ctr.CritNS
+	end2 := core.Run(end, &Block{Instrs: 320, IPC: 2.0, Events: ev}, &ctr)
+	if ctr.LoadsL2 != 32 {
+		t.Errorf("L2 loads %d, want 32", ctr.LoadsL2)
+	}
+	if ctr.CritNS != before {
+		t.Error("L2 hits contributed to the CRIT counter")
+	}
+	// 320 instrs at IPC 2 = 160ns, plus 32 x 8 cycles = 256ns.
+	if dur := end2 - end; dur > 600*units.Nanosecond {
+		t.Errorf("L2-hit block took %v", dur)
+	}
+}
+
+func TestRunMonotonic(t *testing.T) {
+	err := quick.Check(func(seed uint64, nEv uint8) bool {
+		core, _ := testCore(2000 * units.MHz)
+		var ctr Counters
+		blk := &Block{Instrs: 1000, IPC: 2}
+		for i := 0; i < int(nEv%16); i++ {
+			blk.Events = append(blk.Events, MemEvent{
+				At:    int64(i * 50),
+				Addr:  mem.Addr(seed>>8) + mem.Addr(i*4096),
+				Store: i%4 == 0,
+			})
+		}
+		start := units.Time(seed % 1_000_000)
+		end := core.Run(start, blk, &ctr)
+		return end >= start
+	}, &quick.Config{MaxCount: 200})
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBlockValidate(t *testing.T) {
+	good := &Block{Instrs: 100, IPC: 2, Events: []MemEvent{{At: 5}, {At: 10}}}
+	if err := good.Validate(); err != nil {
+		t.Errorf("valid block rejected: %v", err)
+	}
+	bad := []*Block{
+		{Instrs: 0, IPC: 2},
+		{Instrs: 100, IPC: 0},
+		{Instrs: 100, IPC: 2, Events: []MemEvent{{At: 100}}},
+		{Instrs: 100, IPC: 2, Events: []MemEvent{{At: 10}, {At: 5}}},
+		{Instrs: 100, IPC: 2, Events: []MemEvent{{At: -1}}},
+	}
+	for i, b := range bad {
+		if err := b.Validate(); err == nil {
+			t.Errorf("invalid block %d accepted", i)
+		}
+	}
+}
+
+func TestBlockReset(t *testing.T) {
+	b := &Block{Instrs: 10, IPC: 2, Events: []MemEvent{{At: 1}}}
+	b.Reset()
+	if b.Instrs != 0 || b.IPC != 0 || len(b.Events) != 0 {
+		t.Error("Reset incomplete")
+	}
+	if cap(b.Events) == 0 {
+		t.Error("Reset dropped event capacity")
+	}
+}
+
+func TestCountersAddSub(t *testing.T) {
+	err := quick.Check(func(a, b Counters) bool {
+		// Avoid negative-overflow noise: Sub then Add restores.
+		sum := a
+		sum.Add(b)
+		return sum.Sub(b) == a && sum.Sub(a) == b
+	}, &quick.Config{MaxCount: 100})
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCountersLoads(t *testing.T) {
+	c := Counters{LoadsL1: 1, LoadsL2: 2, LoadsL3: 3, LoadsDRAM: 4}
+	if c.Loads() != 10 {
+		t.Errorf("Loads = %d", c.Loads())
+	}
+	if c.LongLatencyLoads() != 7 {
+		t.Errorf("LongLatencyLoads = %d", c.LongLatencyLoads())
+	}
+}
+
+func TestBadConfigPanics(t *testing.T) {
+	hier := mem.NewHierarchy(mem.DefaultHierarchyConfig(1))
+	clock := units.NewClock(units.GHz)
+	cfg := DefaultConfig()
+	cfg.MSHRs = 0
+	defer func() {
+		if recover() == nil {
+			t.Error("bad config did not panic")
+		}
+	}()
+	NewCore(0, cfg, clock, hier)
+}

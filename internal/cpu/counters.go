@@ -1,0 +1,90 @@
+// Package cpu models an out-of-order superscalar core at the interval-model
+// abstraction level (the same abstraction the Sniper simulator uses): the
+// core dispatches instructions at a steady rate until a long-latency event
+// — a cluster of cache misses or a full store queue — stalls commit.
+//
+// Alongside ground-truth timing, each core maintains the per-thread hardware
+// counters that the paper's DVFS predictors require: the CRIT critical-path
+// counter, the Leading Loads counter, the Stall Time counter, and the
+// store-queue-full counter introduced for BURST.
+package cpu
+
+import "depburst/internal/units"
+
+// Counters is the set of per-thread performance counters the predictors
+// consume. The simulated core accumulates into the counters of whichever
+// thread currently runs on it; the kernel snapshots them at epoch and
+// quantum boundaries.
+type Counters struct {
+	// Instrs is the number of committed instructions.
+	Instrs int64
+
+	// Active is the wall-clock time this thread was scheduled on a core.
+	// The kernel maintains it; the core model never touches it.
+	Active units.Time
+
+	// CritNS is the CRIT non-scaling estimate: the accumulated critical
+	// path latency through each in-ROB cluster of long-latency loads.
+	CritNS units.Time
+
+	// LeadNS is the Leading Loads non-scaling estimate: the full latency
+	// of the leading load of each miss cluster.
+	LeadNS units.Time
+
+	// StallNS is the Stall Time non-scaling estimate: time commit was
+	// blocked on a memory access (underestimates, per the paper).
+	StallNS units.Time
+
+	// SQFull is the time commit was stalled because the store queue was
+	// full and the next instruction to commit was a store. BURST adds
+	// this to the non-scaling component.
+	SQFull units.Time
+
+	// Demand-load hit distribution.
+	LoadsL1, LoadsL2, LoadsL3, LoadsDRAM uint64
+
+	// Stores committed, and how many drained all the way to DRAM.
+	Stores, StoresDRAM uint64
+}
+
+// Add accumulates o into c.
+func (c *Counters) Add(o Counters) {
+	c.Instrs += o.Instrs
+	c.Active += o.Active
+	c.CritNS += o.CritNS
+	c.LeadNS += o.LeadNS
+	c.StallNS += o.StallNS
+	c.SQFull += o.SQFull
+	c.LoadsL1 += o.LoadsL1
+	c.LoadsL2 += o.LoadsL2
+	c.LoadsL3 += o.LoadsL3
+	c.LoadsDRAM += o.LoadsDRAM
+	c.Stores += o.Stores
+	c.StoresDRAM += o.StoresDRAM
+}
+
+// Sub returns c - o, the delta between two snapshots of the same counters.
+func (c Counters) Sub(o Counters) Counters {
+	return Counters{
+		Instrs:     c.Instrs - o.Instrs,
+		Active:     c.Active - o.Active,
+		CritNS:     c.CritNS - o.CritNS,
+		LeadNS:     c.LeadNS - o.LeadNS,
+		StallNS:    c.StallNS - o.StallNS,
+		SQFull:     c.SQFull - o.SQFull,
+		LoadsL1:    c.LoadsL1 - o.LoadsL1,
+		LoadsL2:    c.LoadsL2 - o.LoadsL2,
+		LoadsL3:    c.LoadsL3 - o.LoadsL3,
+		LoadsDRAM:  c.LoadsDRAM - o.LoadsDRAM,
+		Stores:     c.Stores - o.Stores,
+		StoresDRAM: c.StoresDRAM - o.StoresDRAM,
+	}
+}
+
+// Loads returns the total number of demand loads.
+func (c Counters) Loads() uint64 {
+	return c.LoadsL1 + c.LoadsL2 + c.LoadsL3 + c.LoadsDRAM
+}
+
+// LongLatencyLoads returns the loads that left the private cache levels.
+func (c Counters) LongLatencyLoads() uint64 { return c.LoadsL3 + c.LoadsDRAM }

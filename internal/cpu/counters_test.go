@@ -1,0 +1,108 @@
+package cpu
+
+import (
+	"testing"
+
+	"depburst/internal/mem"
+	"depburst/internal/units"
+)
+
+func TestMSHRLimitSerialisesWideClusters(t *testing.T) {
+	// A cluster of many independent misses can only overlap MSHRs at a
+	// time: doubling the MSHR count must speed the cluster up.
+	run := func(mshrs int) units.Time {
+		hier := mem.NewHierarchy(mem.DefaultHierarchyConfig(1))
+		clock := units.NewClock(1000 * units.MHz)
+		cfg := DefaultConfig()
+		cfg.MSHRs = mshrs
+		core := NewCore(0, cfg, clock, hier)
+		var ctr Counters
+		blk := &Block{Instrs: 200, IPC: 2}
+		for i := 0; i < 32; i++ {
+			blk.Events = append(blk.Events, MemEvent{
+				At:   int64(i * 2),
+				Addr: mem.Addr(0x100000 + i*1024*1024 + i*64), // spread across banks
+			})
+		}
+		return core.Run(0, blk, &ctr)
+	}
+	narrow := run(2)
+	wide := run(16)
+	if float64(narrow) < 1.2*float64(wide) {
+		t.Errorf("MSHR limit had no effect: 2 MSHRs %v vs 16 MSHRs %v", narrow, wide)
+	}
+}
+
+func TestStallNeverExceedsCrit(t *testing.T) {
+	// For load-only workloads, the Stall Time counter (actual commit
+	// stall) can never exceed CRIT's chain estimate plus dispatch slack;
+	// in particular it must not exceed the elapsed time, and the three
+	// counters must order sensibly for a dependent chain.
+	hier := mem.NewHierarchy(mem.DefaultHierarchyConfig(1))
+	clock := units.NewClock(1000 * units.MHz)
+	core := NewCore(0, DefaultConfig(), clock, hier)
+	var ctr Counters
+	blk := &Block{Instrs: 600, IPC: 2}
+	for i := 0; i < 8; i++ {
+		blk.Events = append(blk.Events, MemEvent{
+			At:      int64(i * 4),
+			Addr:    mem.Addr(0x200000 + i*512*1024),
+			DepPrev: i > 0,
+		})
+	}
+	end := core.Run(0, blk, &ctr)
+	if ctr.LeadNS > ctr.CritNS {
+		t.Errorf("leading loads %v exceeds CRIT %v on a chain", ctr.LeadNS, ctr.CritNS)
+	}
+	if ctr.StallNS > units.Time(end) {
+		t.Errorf("stall %v exceeds elapsed %v", ctr.StallNS, end)
+	}
+}
+
+func TestPerCoreTotalsMirrorThreadCounters(t *testing.T) {
+	hier := mem.NewHierarchy(mem.DefaultHierarchyConfig(1))
+	clock := units.NewClock(1000 * units.MHz)
+	core := NewCore(0, DefaultConfig(), clock, hier)
+	var a, b Counters
+	blk := &Block{Instrs: 5000, IPC: 2,
+		Events: []MemEvent{{At: 100, Addr: 0x100000}, {At: 2000, Addr: 0x300000, Store: true}}}
+	core.Run(0, blk, &a)
+	core.Run(units.Millisecond, blk, &b)
+
+	var sum Counters
+	sum.Add(a)
+	sum.Add(b)
+	tot := core.Counters()
+	// Active is kernel-owned; everything else must match the per-thread
+	// accumulation exactly.
+	sum.Active = tot.Active
+	if tot != sum {
+		t.Errorf("core totals %+v != thread sums %+v", tot, sum)
+	}
+
+	core.AddActive(42)
+	if core.Counters().Active != tot.Active+42 {
+		t.Error("AddActive not reflected")
+	}
+}
+
+func TestStoreToSameLineCoalescesInL2(t *testing.T) {
+	// Repeated stores to one line: first drains to memory, later ones hit
+	// the L2 copy and drain in cycles, so a hot-line store loop must not
+	// saturate the store queue.
+	hier := mem.NewHierarchy(mem.DefaultHierarchyConfig(1))
+	clock := units.NewClock(1000 * units.MHz)
+	core := NewCore(0, DefaultConfig(), clock, hier)
+	var ctr Counters
+	blk := &Block{Instrs: 2000, IPC: 2}
+	for i := 0; i < 200; i++ {
+		blk.Events = append(blk.Events, MemEvent{At: int64(i * 10), Addr: 0x400000, Store: true})
+	}
+	core.Run(0, blk, &ctr)
+	if ctr.StoresDRAM > 2 {
+		t.Errorf("%d same-line stores drained to DRAM, want ~1", ctr.StoresDRAM)
+	}
+	if ctr.SQFull > 0 {
+		t.Errorf("hot-line store loop stalled the store queue for %v", ctr.SQFull)
+	}
+}

@@ -1,0 +1,158 @@
+package dacapo
+
+import (
+	"testing"
+
+	"depburst/internal/sim"
+)
+
+func TestSuiteComposition(t *testing.T) {
+	suite := Suite()
+	if len(suite) != 7 {
+		t.Fatalf("suite has %d benchmarks, want 7", len(suite))
+	}
+	names := map[string]bool{}
+	memory := 0
+	for _, s := range suite {
+		if names[s.Name] {
+			t.Errorf("duplicate benchmark %q", s.Name)
+		}
+		names[s.Name] = true
+		if s.Memory {
+			memory++
+		}
+		if s.Threads <= 0 || s.Items <= 0 || s.ItemInstrs <= 0 || s.IPC <= 0 {
+			t.Errorf("%s: degenerate spec %+v", s.Name, s)
+		}
+		if s.TotalInstrs() <= 0 {
+			t.Errorf("%s: no work", s.Name)
+		}
+	}
+	// Table I: four memory-intensive, three compute-intensive.
+	if memory != 4 {
+		t.Errorf("%d memory-intensive benchmarks, want 4", memory)
+	}
+	for _, want := range []string{"xalan", "pmd", "pmd.scale", "lusearch", "lusearch.fix", "avrora", "sunflow"} {
+		if !names[want] {
+			t.Errorf("missing benchmark %q", want)
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	s, err := ByName("avrora")
+	if err != nil || s.Name != "avrora" {
+		t.Errorf("ByName(avrora) = %+v, %v", s, err)
+	}
+	if s.Threads != 6 {
+		t.Errorf("avrora threads %d, want 6 (more than cores)", s.Threads)
+	}
+	if _, err := ByName("nope"); err == nil {
+		t.Error("unknown benchmark accepted")
+	}
+}
+
+func TestClass(t *testing.T) {
+	if Xalan().Class() != "M" || Sunflow().Class() != "C" {
+		t.Error("classification strings wrong")
+	}
+}
+
+func TestPMDVariants(t *testing.T) {
+	pmd, scale := PMD(), PMDScale()
+	if !pmd.SkewFirst || scale.SkewFirst {
+		t.Error("pmd must have the input-size skew; pmd.scale must not")
+	}
+	if pmd.SkewFactor <= 1 {
+		t.Error("pmd skew factor degenerate")
+	}
+}
+
+func TestLusearchVariants(t *testing.T) {
+	l, fix := Lusearch(), LusearchFix()
+	if fix.AllocPerItem >= l.AllocPerItem {
+		t.Error("lusearch.fix must allocate less than lusearch")
+	}
+	if !l.Memory || fix.Memory {
+		t.Error("classification: lusearch M, lusearch.fix C")
+	}
+}
+
+func TestConfigure(t *testing.T) {
+	cfg := sim.DefaultConfig()
+	s := Xalan()
+	s.Configure(&cfg)
+	if cfg.JVM.NurseryBytes != s.Nursery || cfg.JVM.SurvivalRate != s.Survival {
+		t.Errorf("Configure did not apply JVM sizing: %+v", cfg.JVM)
+	}
+}
+
+func TestSkewAffectsRuntime(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long")
+	}
+	// pmd's skewed first item serialises the tail: with the same total
+	// items, the skewed variant must run longer than proportional.
+	run := func(s Spec) float64 {
+		cfg := sim.DefaultConfig()
+		s.Configure(&cfg)
+		res, err := sim.New(cfg).Run(New(s))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Time.Seconds() / float64(s.TotalInstrs())
+	}
+	pmd := PMD()
+	scale := PMDScale()
+	// Per-instruction time: the skewed run is less parallel, so it costs
+	// more time per instruction.
+	if run(pmd) <= run(scale) {
+		t.Error("pmd's scaling bottleneck not visible")
+	}
+}
+
+func TestScaled(t *testing.T) {
+	s := Lusearch()
+	big := s.Scaled(2)
+	if big.Items != 2*s.Items {
+		t.Errorf("Scaled(2) items %d, want %d", big.Items, 2*s.Items)
+	}
+	small := s.Scaled(0.001)
+	if small.Items < 1 {
+		t.Error("Scaled floor broken")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Scaled(0) did not panic")
+		}
+	}()
+	s.Scaled(0)
+}
+
+func TestItemProfilePhases(t *testing.T) {
+	s := Xalan() // PhaseItems 130
+	w := New(s)
+	a := w.profile(s, 0, s.HotFrac)
+	b := w.profile(s, 0, s.HotFracB)
+	if got := itemProfile(s, 0, a, b); got != a {
+		t.Error("first phase should use profile A")
+	}
+	if got := itemProfile(s, s.PhaseItems, a, b); got != b {
+		t.Error("second phase should use profile B")
+	}
+	if got := itemProfile(s, 2*s.PhaseItems, a, b); got != a {
+		t.Error("third phase should flip back to A")
+	}
+	noPhase := s
+	noPhase.PhaseItems = 0
+	if got := itemProfile(noPhase, 500, a, b); got != a {
+		t.Error("phase-free spec must always use profile A")
+	}
+}
+
+func TestCoRunName(t *testing.T) {
+	c := &CoRun{Specs: []Spec{Xalan(), Sunflow()}}
+	if c.Name() != "corun+xalan+sunflow" {
+		t.Errorf("name %q", c.Name())
+	}
+}

@@ -1,0 +1,252 @@
+// Package dacapo provides synthetic analogues of the seven multithreaded
+// DaCapo Java benchmarks the paper evaluates (Table I). Each benchmark is
+// a kernel program whose structure — thread count, synchronization pattern,
+// allocation rate, locality, and pointer-chasing behaviour — reproduces the
+// documented character of the original: lusearch's allocation-heavy query
+// workers, pmd's input-size scaling bottleneck, sunflow's embarrassingly
+// parallel rendering, avrora's fine-grained many-thread synchronization,
+// and so on. Durations are compressed ~100x relative to the paper for
+// simulation tractability.
+package dacapo
+
+import (
+	"fmt"
+
+	"depburst/internal/jvm"
+	"depburst/internal/sim"
+)
+
+// Kind selects the benchmark's parallel structure.
+type Kind int
+
+// Benchmark structures.
+const (
+	// KindQueue is a pool of workers pulling items off a shared,
+	// lock-protected queue (lusearch, pmd, xalan).
+	KindQueue Kind = iota
+	// KindTiles is data-parallel tile rendering with a final barrier and
+	// almost no cross-thread synchronization (sunflow).
+	KindTiles
+	// KindActors is a round-based simulation in which every thread
+	// synchronises at a barrier each round, with more threads than cores
+	// (avrora).
+	KindActors
+)
+
+// Spec fully describes one benchmark.
+type Spec struct {
+	Name string
+	// Memory marks the benchmark memory-intensive (>10% of time in GC,
+	// Table I's "M" class).
+	Memory bool
+	// HeapMB is the paper's heap size, reported in Table I output.
+	HeapMB int
+
+	Threads int
+	Kind    Kind
+
+	// Work shape.
+	Items      int   // work items (or rounds, for KindActors)
+	ItemInstrs int64 // mean instructions per item
+	// SkewFirst makes the first item SkewFactor× larger, modelling pmd's
+	// large-input-file scaling bottleneck.
+	SkewFirst  bool
+	SkewFactor int64
+
+	// Compute profile.
+	IPC         float64
+	LoadsPerKI  float64
+	StoresPerKI float64
+	DepFrac     float64
+	HotFrac     float64
+	HotKB       int64
+	ColdMB      int64
+
+	// Phase behaviour: when PhaseItems > 0, the workload alternates every
+	// PhaseItems items between the base locality (HotFrac) and a second
+	// phase with HotFracB locality — the memory-heavy vs memory-light
+	// program phases that the dynamic energy manager exploits and a
+	// static frequency setting cannot.
+	PhaseItems int
+	HotFracB   float64
+
+	// Managed-runtime behaviour.
+	AllocPerItem int64
+	Nursery      int64
+	Survival     float64
+	JITInstrs    int64
+
+	// Critical sections per item against a shared lock.
+	CSPerItem int
+	CSInstrs  int64
+}
+
+// Suite returns the paper's seven benchmarks in Table I order
+// (memory-intensive first).
+func Suite() []Spec {
+	return []Spec{
+		Xalan(), PMD(), PMDScale(), Lusearch(),
+		LusearchFix(), Avrora(), Sunflow(),
+	}
+}
+
+// ByName returns the named benchmark spec.
+func ByName(name string) (Spec, error) {
+	for _, s := range Suite() {
+		if s.Name == name {
+			return s, nil
+		}
+	}
+	return Spec{}, fmt.Errorf("dacapo: unknown benchmark %q", name)
+}
+
+// Xalan models the XSLT transformer: queue workers, allocation-heavy with
+// moderate locality, frequent shared-state locking.
+func Xalan() Spec {
+	return Spec{
+		Name: "xalan", Memory: true, HeapMB: 108,
+		Threads: 4, Kind: KindQueue,
+		Items: 1320, ItemInstrs: 36_000,
+		IPC: 2.0, LoadsPerKI: 14, StoresPerKI: 4, DepFrac: 0.30,
+		HotFrac: 0.62, HotKB: 192, ColdMB: 10,
+		PhaseItems: 130, HotFracB: 0.95,
+		AllocPerItem: 24_000, Nursery: 1 << 20, Survival: 0.26,
+		CSPerItem: 2, CSInstrs: 3_200,
+	}
+}
+
+// PMD models the source-code analyser: queue workers with one very large
+// input file that serialises the tail of the run.
+func PMD() Spec {
+	return Spec{
+		Name: "pmd", Memory: true, HeapMB: 98,
+		Threads: 4, Kind: KindQueue,
+		Items: 780, ItemInstrs: 50_000,
+		SkewFirst: true, SkewFactor: 60,
+		IPC: 1.8, LoadsPerKI: 13, StoresPerKI: 4, DepFrac: 0.35,
+		HotFrac: 0.64, HotKB: 256, ColdMB: 12,
+		PhaseItems: 80, HotFracB: 0.93,
+		AllocPerItem: 28_000, Nursery: 1 << 20, Survival: 0.34,
+		CSPerItem: 3, CSInstrs: 2_600,
+	}
+}
+
+// PMDScale is pmd with the large-input bottleneck removed ([14]).
+func PMDScale() Spec {
+	s := PMD()
+	s.Name = "pmd.scale"
+	s.SkewFirst = false
+	s.Items = 340
+	return s
+}
+
+// Lusearch models the text-search workers: modest per-item work but very
+// high allocation, hence frequent collections.
+func Lusearch() Spec {
+	return Spec{
+		Name: "lusearch", Memory: true, HeapMB: 68,
+		Threads: 4, Kind: KindQueue,
+		Items: 6900, ItemInstrs: 18_000,
+		IPC: 2.2, LoadsPerKI: 12, StoresPerKI: 4, DepFrac: 0.25,
+		HotFrac: 0.66, HotKB: 128, ColdMB: 8,
+		PhaseItems: 650, HotFracB: 0.94,
+		AllocPerItem: 9_000, Nursery: 1 << 20, Survival: 0.13,
+		CSPerItem: 1, CSInstrs: 1_600,
+	}
+}
+
+// LusearchFix is lusearch with the needless allocation removed ([43]):
+// the same query structure with a fraction of the allocation and better
+// locality.
+func LusearchFix() Spec {
+	s := Lusearch()
+	s.Name = "lusearch.fix"
+	s.Memory = false
+	s.Items = 4600
+	s.ItemInstrs = 16_000
+	s.PhaseItems = 0
+	s.HotFracB = 0
+	s.AllocPerItem = 2_200
+	s.HotFrac = 0.95
+	s.LoadsPerKI = 11
+	return s
+}
+
+// Avrora models the AVR microcontroller simulator: six threads (more than
+// cores), tiny work quanta, and a synchronization point every round —
+// limited parallelism and heavy futex traffic.
+func Avrora() Spec {
+	return Spec{
+		Name: "avrora", Memory: false, HeapMB: 98,
+		Threads: 6, Kind: KindActors,
+		Items: 1650, ItemInstrs: 5_000,
+		IPC: 1.6, LoadsPerKI: 7, StoresPerKI: 2, DepFrac: 0.15,
+		HotFrac: 0.97, HotKB: 96, ColdMB: 4,
+		AllocPerItem: 260, Nursery: 1 << 20, Survival: 0.08,
+	}
+}
+
+// Sunflow models the ray tracer: embarrassingly parallel tiles of heavy
+// compute with a cache-resident scene and minimal allocation.
+func Sunflow() Spec {
+	return Spec{
+		Name: "sunflow", Memory: false, HeapMB: 108,
+		Threads: 4, Kind: KindTiles,
+		Items: 1350, ItemInstrs: 300_000,
+		IPC: 2.6, LoadsPerKI: 9, StoresPerKI: 2, DepFrac: 0.1,
+		HotFrac: 0.96, HotKB: 224, ColdMB: 6,
+		AllocPerItem: 7_000, Nursery: 1 << 20, Survival: 0.34,
+	}
+}
+
+// Scaled returns a copy of the spec with the amount of work (items and
+// allocation volume with it) multiplied by factor. Use it to trade run
+// length for statistical weight — e.g. Scaled(10) approaches the paper's
+// uncompressed durations.
+func (s Spec) Scaled(factor float64) Spec {
+	if factor <= 0 {
+		panic("dacapo: non-positive scale factor")
+	}
+	out := s
+	out.Items = int(float64(s.Items) * factor)
+	if out.Items < 1 {
+		out.Items = 1
+	}
+	return out
+}
+
+// Configure applies the benchmark's JVM sizing to a machine config.
+func (s Spec) Configure(cfg *sim.Config) {
+	s.ConfigureJVM(&cfg.JVM)
+}
+
+// ConfigureJVM applies the benchmark's JVM sizing to one runtime-instance
+// config (used directly when the benchmark runs as a co-located tenant).
+func (s Spec) ConfigureJVM(cfg *jvm.Config) {
+	if s.Nursery > 0 {
+		cfg.NurseryBytes = s.Nursery
+	}
+	if s.Survival > 0 {
+		cfg.SurvivalRate = s.Survival
+	}
+	cfg.JITWorkInstrs = s.JITInstrs
+}
+
+// Class returns the Table I classification string.
+func (s Spec) Class() string {
+	if s.Memory {
+		return "M"
+	}
+	return "C"
+}
+
+// TotalInstrs estimates the benchmark's total application instructions,
+// used for sanity checks and scaling.
+func (s Spec) TotalInstrs() int64 {
+	n := int64(s.Items) * s.ItemInstrs
+	if s.SkewFirst {
+		n += (s.SkewFactor - 1) * s.ItemInstrs
+	}
+	n += int64(s.Items) * int64(s.CSPerItem) * s.CSInstrs
+	return n
+}

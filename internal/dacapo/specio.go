@@ -1,0 +1,109 @@
+package dacapo
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+)
+
+// MarshalText renders a Kind as its name in JSON suite files.
+func (k Kind) MarshalText() ([]byte, error) {
+	switch k {
+	case KindQueue:
+		return []byte("queue"), nil
+	case KindTiles:
+		return []byte("tiles"), nil
+	case KindActors:
+		return []byte("actors"), nil
+	default:
+		return nil, fmt.Errorf("dacapo: unknown kind %d", k)
+	}
+}
+
+// UnmarshalText parses a Kind name.
+func (k *Kind) UnmarshalText(b []byte) error {
+	switch string(b) {
+	case "queue":
+		*k = KindQueue
+	case "tiles":
+		*k = KindTiles
+	case "actors":
+		*k = KindActors
+	default:
+		return fmt.Errorf("dacapo: unknown kind %q", b)
+	}
+	return nil
+}
+
+// Validate rejects degenerate specs before they reach the simulator.
+func (s Spec) Validate() error {
+	switch {
+	case s.Name == "":
+		return fmt.Errorf("dacapo: spec has no name")
+	case s.Threads <= 0:
+		return fmt.Errorf("dacapo: %s: %d threads", s.Name, s.Threads)
+	case s.Items <= 0:
+		return fmt.Errorf("dacapo: %s: %d items", s.Name, s.Items)
+	case s.ItemInstrs <= 0:
+		return fmt.Errorf("dacapo: %s: %d instructions per item", s.Name, s.ItemInstrs)
+	case s.IPC <= 0:
+		return fmt.Errorf("dacapo: %s: IPC %g", s.Name, s.IPC)
+	case s.LoadsPerKI < 0 || s.StoresPerKI < 0:
+		return fmt.Errorf("dacapo: %s: negative memory rates", s.Name)
+	case s.DepFrac < 0 || s.DepFrac > 1 || s.HotFrac < 0 || s.HotFrac > 1:
+		return fmt.Errorf("dacapo: %s: fractions outside [0,1]", s.Name)
+	case s.HotFracB < 0 || s.HotFracB > 1:
+		return fmt.Errorf("dacapo: %s: HotFracB outside [0,1]", s.Name)
+	case s.HotKB < 0 || s.ColdMB < 0:
+		return fmt.Errorf("dacapo: %s: negative region sizes", s.Name)
+	case s.AllocPerItem < 0 || s.Nursery < 0:
+		return fmt.Errorf("dacapo: %s: negative allocation sizing", s.Name)
+	case s.Survival < 0 || s.Survival > 1:
+		return fmt.Errorf("dacapo: %s: survival outside [0,1]", s.Name)
+	case s.CSPerItem < 0 || s.CSInstrs < 0:
+		return fmt.Errorf("dacapo: %s: negative critical-section sizing", s.Name)
+	case s.SkewFirst && s.SkewFactor < 2:
+		return fmt.Errorf("dacapo: %s: skewed first item needs SkewFactor >= 2", s.Name)
+	}
+	return nil
+}
+
+// WriteSpecs serialises a benchmark suite as JSON.
+func WriteSpecs(w io.Writer, specs []Spec) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(specs)
+}
+
+// ReadSpecs parses and validates a JSON benchmark suite.
+func ReadSpecs(r io.Reader) ([]Spec, error) {
+	var specs []Spec
+	if err := json.NewDecoder(r).Decode(&specs); err != nil {
+		return nil, fmt.Errorf("dacapo: parse suite: %w", err)
+	}
+	if len(specs) == 0 {
+		return nil, fmt.Errorf("dacapo: empty suite")
+	}
+	seen := map[string]bool{}
+	for _, s := range specs {
+		if err := s.Validate(); err != nil {
+			return nil, err
+		}
+		if seen[s.Name] {
+			return nil, fmt.Errorf("dacapo: duplicate benchmark %q", s.Name)
+		}
+		seen[s.Name] = true
+	}
+	return specs, nil
+}
+
+// ReadSpecsFile loads a suite from a JSON file.
+func ReadSpecsFile(path string) ([]Spec, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadSpecs(f)
+}

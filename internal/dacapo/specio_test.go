@@ -1,0 +1,88 @@
+package dacapo
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestSpecsRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteSpecs(&buf, Suite()); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadSpecs(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Suite()
+	if len(got) != len(want) {
+		t.Fatalf("suite size %d vs %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Errorf("spec %s changed across round trip:\n got %+v\nwant %+v",
+				want[i].Name, got[i], want[i])
+		}
+	}
+}
+
+func TestKindText(t *testing.T) {
+	for k, name := range map[Kind]string{KindQueue: "queue", KindTiles: "tiles", KindActors: "actors"} {
+		b, err := k.MarshalText()
+		if err != nil || string(b) != name {
+			t.Errorf("marshal %d: %q, %v", k, b, err)
+		}
+		var back Kind
+		if err := back.UnmarshalText(b); err != nil || back != k {
+			t.Errorf("unmarshal %q: %v, %v", b, back, err)
+		}
+	}
+	var k Kind
+	if err := k.UnmarshalText([]byte("bogus")); err == nil {
+		t.Error("bogus kind accepted")
+	}
+	if _, err := Kind(99).MarshalText(); err == nil {
+		t.Error("invalid kind marshalled")
+	}
+}
+
+func TestValidateCatchesDegenerates(t *testing.T) {
+	mutations := []func(*Spec){
+		func(s *Spec) { s.Name = "" },
+		func(s *Spec) { s.Threads = 0 },
+		func(s *Spec) { s.Items = -1 },
+		func(s *Spec) { s.ItemInstrs = 0 },
+		func(s *Spec) { s.IPC = -2 },
+		func(s *Spec) { s.LoadsPerKI = -1 },
+		func(s *Spec) { s.DepFrac = 1.5 },
+		func(s *Spec) { s.HotFrac = -0.1 },
+		func(s *Spec) { s.Survival = 2 },
+		func(s *Spec) { s.CSInstrs = -5 },
+		func(s *Spec) { s.SkewFirst = true; s.SkewFactor = 1 },
+	}
+	for i, mutate := range mutations {
+		s := Xalan()
+		mutate(&s)
+		if err := s.Validate(); err == nil {
+			t.Errorf("mutation %d accepted: %+v", i, s)
+		}
+	}
+	if err := Xalan().Validate(); err != nil {
+		t.Errorf("stock spec rejected: %v", err)
+	}
+}
+
+func TestReadSpecsRejections(t *testing.T) {
+	if _, err := ReadSpecs(strings.NewReader("[]")); err == nil {
+		t.Error("empty suite accepted")
+	}
+	if _, err := ReadSpecs(strings.NewReader("garbage")); err == nil {
+		t.Error("garbage accepted")
+	}
+	var buf bytes.Buffer
+	WriteSpecs(&buf, []Spec{Xalan(), Xalan()})
+	if _, err := ReadSpecs(&buf); err == nil {
+		t.Error("duplicate names accepted")
+	}
+}

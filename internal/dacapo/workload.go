@@ -1,0 +1,234 @@
+package dacapo
+
+import (
+	"depburst/internal/cpu"
+	"depburst/internal/jvm"
+	"depburst/internal/kernel"
+	"depburst/internal/mem"
+	"depburst/internal/rng"
+	"depburst/internal/sim"
+	"depburst/internal/trace"
+)
+
+// Address-space bases for workload (non-heap) data: a shared hot region and
+// a large private cold region per thread, all above the managed heap.
+const (
+	sharedBase  mem.Addr = 1 << 44
+	privateBase mem.Addr = 1 << 45
+	privateSpan mem.Addr = 1 << 34
+)
+
+// maxBlockInstrs caps one simulated block so thread-interleaving skew stays
+// bounded (~8 µs at 1 GHz, IPC 2).
+const maxBlockInstrs = 16_000
+
+// Workload adapts a Spec to sim.Workload.
+type Workload struct {
+	Spec Spec
+
+	// jvm and group bind the workload to one managed-runtime instance;
+	// the zero values use the machine's default instance (group 0).
+	jvm   *jvm.JVM
+	group int
+}
+
+// New returns the runnable workload for spec.
+func New(spec Spec) *Workload { return &Workload{Spec: spec} }
+
+// Name implements sim.Workload.
+func (w *Workload) Name() string { return w.Spec.Name }
+
+// Setup implements sim.Workload: it spawns the benchmark's main thread,
+// which in turn spawns the worker threads.
+func (w *Workload) Setup(m *sim.Machine) {
+	if w.jvm == nil {
+		w.jvm = m.JVM
+	}
+	s := w.Spec
+	m.Kern.SpawnGroup(s.Name+"-main", kernel.ClassApp, w.group, -1, func(e *kernel.Env) {
+		w.runMain(e, m, s)
+	})
+}
+
+// CoRun bundles several benchmarks into one consolidated workload: each
+// gets its own managed-runtime instance (kernel thread group, heap,
+// stop-the-world domain) and they compete for the machine's cores — the
+// multi-tenant scenario.
+type CoRun struct {
+	Specs []Spec
+}
+
+// Name implements sim.Workload.
+func (c *CoRun) Name() string {
+	name := "corun"
+	for _, s := range c.Specs {
+		name += "+" + s.Name
+	}
+	return name
+}
+
+// Setup implements sim.Workload.
+func (c *CoRun) Setup(m *sim.Machine) {
+	for i, spec := range c.Specs {
+		w := &Workload{Spec: spec}
+		if i > 0 {
+			cfg := m.Config().JVM
+			spec.ConfigureJVM(&cfg)
+			w.jvm = m.NewJVM(cfg)
+			w.group = w.jvm.Group()
+		}
+		w.Setup(m)
+	}
+}
+
+// shared is the cross-thread state of one benchmark run.
+type shared struct {
+	dispatchMu kernel.Mutex
+	sharedMu   kernel.Mutex
+	done       *kernel.Barrier
+	round      *kernel.Barrier
+	itemsLeft  int
+	nextItem   int
+}
+
+func (w *Workload) runMain(e *kernel.Env, m *sim.Machine, s Spec) {
+	st := &shared{
+		done:      kernel.NewBarrier(s.Threads + 1),
+		itemsLeft: s.Items,
+	}
+	if s.Kind == KindActors {
+		st.round = kernel.NewBarrier(s.Threads)
+	}
+
+	// Startup allocation: loading the workload's input builds some
+	// initial heap structure.
+	tl := &jvm.TLAB{}
+	w.jvm.Alloc(e, tl, 64<<10)
+
+	for i := 0; i < s.Threads; i++ {
+		tid := i
+		m.Kern.SpawnGroup(s.Name+"-worker", kernel.ClassApp, w.group, tid%m.Kern.Cores(), func(we *kernel.Env) {
+			w.runWorker(we, m, s, st, tid)
+		})
+	}
+	e.BarrierWait(st.done)
+}
+
+// profile builds the thread's compute profile with the given locality: a
+// shared hot set that stays cache-resident and a private cold set that
+// misses to DRAM.
+func (w *Workload) profile(s Spec, tid int, hotFrac float64) trace.Profile {
+	hot := trace.RandomRegion{Base: sharedBase, Size: s.HotKB << 10}
+	cold := trace.RandomRegion{
+		Base: privateBase + privateSpan*mem.Addr(tid),
+		Size: s.ColdMB << 20,
+	}
+	return trace.Profile{
+		IPC:         s.IPC,
+		LoadsPerKI:  s.LoadsPerKI,
+		StoresPerKI: s.StoresPerKI,
+		DepFrac:     s.DepFrac,
+		Addr:        trace.HotCold{Hot: hot, Cold: cold, HotFrac: hotFrac},
+	}
+}
+
+// itemProfile selects the profile for a work item, honouring the spec's
+// alternating phase behaviour.
+func itemProfile(s Spec, item int, a, b trace.Profile) trace.Profile {
+	if s.PhaseItems <= 0 {
+		return a
+	}
+	if (item/s.PhaseItems)%2 == 1 {
+		return b
+	}
+	return a
+}
+
+func (w *Workload) runWorker(e *kernel.Env, m *sim.Machine, s Spec, st *shared, tid int) {
+	r := m.Rng.Fork(0xDA0 + uint64(w.group)<<16 + uint64(tid))
+	tl := &jvm.TLAB{}
+	var blk cpu.Block
+	prof := w.profile(s, tid, s.HotFrac)
+	profB := prof
+	if s.PhaseItems > 0 {
+		profB = w.profile(s, tid, s.HotFracB)
+	}
+
+	switch s.Kind {
+	case KindQueue, KindTiles:
+		w.queueLoop(e, m, s, st, tid, r, tl, &blk, prof, profB)
+	case KindActors:
+		w.actorLoop(e, m, s, st, tid, r, tl, &blk, prof)
+	}
+	e.BarrierWait(st.done)
+}
+
+// queueLoop pulls items off the shared dispatch lock until none remain.
+func (w *Workload) queueLoop(e *kernel.Env, m *sim.Machine, s Spec, st *shared,
+	tid int, r *rng.Source, tl *jvm.TLAB, blk *cpu.Block, profA, profB trace.Profile) {
+	for {
+		e.Lock(&st.dispatchMu)
+		if st.itemsLeft == 0 {
+			e.Unlock(&st.dispatchMu)
+			return
+		}
+		st.itemsLeft--
+		item := st.nextItem
+		st.nextItem++
+		e.Unlock(&st.dispatchMu)
+
+		w.jvm.Safepoint(e)
+		prof := itemProfile(s, item, profA, profB)
+
+		n := jitter(s.ItemInstrs, r)
+		if s.SkewFirst && item == 0 {
+			n = s.ItemInstrs * s.SkewFactor
+		}
+		w.computeChunked(e, blk, prof, n, r)
+		if s.AllocPerItem > 0 {
+			w.jvm.Alloc(e, tl, s.AllocPerItem)
+		}
+		for cs := 0; cs < s.CSPerItem; cs++ {
+			e.Lock(&st.sharedMu)
+			trace.FillBlock(blk, prof, s.CSInstrs, r)
+			e.Compute(blk)
+			e.Unlock(&st.sharedMu)
+		}
+	}
+}
+
+// actorLoop runs Items rounds, synchronising all actors at a barrier each
+// round (avrora's lock-step node simulation).
+func (w *Workload) actorLoop(e *kernel.Env, m *sim.Machine, s Spec, st *shared,
+	tid int, r *rng.Source, tl *jvm.TLAB, blk *cpu.Block, prof trace.Profile) {
+	for round := 0; round < s.Items; round++ {
+		w.jvm.Safepoint(e)
+		w.computeChunked(e, blk, prof, jitter(s.ItemInstrs, r), r)
+		if s.AllocPerItem > 0 {
+			w.jvm.Alloc(e, tl, s.AllocPerItem)
+		}
+		e.BarrierWait(st.round)
+	}
+}
+
+// computeChunked simulates n instructions in bounded blocks.
+func (w *Workload) computeChunked(e *kernel.Env, blk *cpu.Block, prof trace.Profile, n int64, r *rng.Source) {
+	for n > 0 {
+		c := n
+		if c > maxBlockInstrs {
+			c = maxBlockInstrs
+		}
+		trace.FillBlock(blk, prof, c, r)
+		e.Compute(blk)
+		n -= c
+	}
+}
+
+// jitter perturbs a mean item size by ±25% deterministically.
+func jitter(mean int64, r *rng.Source) int64 {
+	if mean <= 4 {
+		return mean
+	}
+	lo := mean - mean/4
+	return lo + r.Int63n(mean/2)
+}

@@ -1,0 +1,72 @@
+package energy
+
+import (
+	"depburst/internal/sim"
+	"depburst/internal/units"
+)
+
+// StaticResult is one point of a static-frequency sweep.
+type StaticResult struct {
+	Freq   units.Freq
+	Time   units.Time
+	Energy units.Energy
+}
+
+// StaticSweep runs the workload at each static frequency and returns the
+// results in sweep order. The paper's "static-optimal" oracle is the sweep
+// point with minimum energy (it requires running the application multiple
+// times with the same input, hence "oracle").
+func StaticSweep(base sim.Config, mk func() sim.Workload, freqs []units.Freq) []StaticResult {
+	out := make([]StaticResult, 0, len(freqs))
+	for _, f := range freqs {
+		cfg := base
+		cfg.Freq = f
+		m := sim.New(cfg)
+		res, err := m.Run(mk())
+		if err != nil {
+			panic(err)
+		}
+		out = append(out, StaticResult{Freq: f, Time: res.Time, Energy: res.Energy})
+	}
+	return out
+}
+
+// StaticOptimal returns the minimum-energy point of a sweep.
+func StaticOptimal(sweep []StaticResult) StaticResult {
+	best := sweep[0]
+	for _, s := range sweep[1:] {
+		if s.Energy < best.Energy {
+			best = s
+		}
+	}
+	return best
+}
+
+// StaticOptimalConstrained returns the minimum-energy sweep point whose
+// slowdown relative to refTime stays within threshold — the oracle the
+// dynamic manager is compared against in the paper's Figure 7 (both
+// operate under the same user-specified performance bound). If no point
+// qualifies, the fastest point is returned.
+func StaticOptimalConstrained(sweep []StaticResult, refTime units.Time, threshold float64) StaticResult {
+	limit := units.Time(float64(refTime) * (1 + threshold))
+	var best *StaticResult
+	for i := range sweep {
+		s := &sweep[i]
+		if s.Time > limit {
+			continue
+		}
+		if best == nil || s.Energy < best.Energy {
+			best = s
+		}
+	}
+	if best == nil {
+		fastest := &sweep[0]
+		for i := range sweep {
+			if sweep[i].Time < fastest.Time {
+				fastest = &sweep[i]
+			}
+		}
+		return *fastest
+	}
+	return *best
+}

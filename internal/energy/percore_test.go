@@ -1,0 +1,152 @@
+package energy
+
+import (
+	"testing"
+
+	"depburst/internal/cpu"
+	"depburst/internal/dacapo"
+	"depburst/internal/kernel"
+	"depburst/internal/sim"
+	"depburst/internal/units"
+)
+
+// skewedWorkload keeps core 0 busy with compute while cores 1-3 idle: the
+// situation per-core DVFS exploits and chip-wide DVFS cannot.
+type skewedWorkload struct{}
+
+func (skewedWorkload) Name() string { return "skewed" }
+
+func (skewedWorkload) Setup(m *sim.Machine) {
+	m.Kern.Spawn("busy", kernel.ClassApp, 0, func(e *kernel.Env) {
+		for i := 0; i < 150; i++ {
+			e.Compute(&cpu.Block{Instrs: 100_000, IPC: 2})
+		}
+	})
+}
+
+func TestPerCoreManagerDropsIdleCores(t *testing.T) {
+	cfg := sim.DefaultConfig()
+	cfg.Freq = 4000
+	mg := NewPerCoreManager(DefaultManagerConfig(0.05))
+	m := sim.New(cfg)
+	m.SetCoreGovernor(mg.Governor())
+	if _, err := m.Run(skewedWorkload{}); err != nil {
+		t.Fatal(err)
+	}
+	if len(mg.Decisions) == 0 {
+		t.Fatal("no decisions made")
+	}
+	// After warmup, idle cores must sit at the floor while the busy core
+	// stays near the top.
+	last := mg.Decisions[len(mg.Decisions)/2]
+	if last[0] < 3500 {
+		t.Errorf("busy core clocked down to %v under a 5%% bound", last[0])
+	}
+	for i := 1; i < len(last); i++ {
+		if last[i] != 1000 {
+			t.Errorf("idle core %d at %v, want the 1 GHz floor", i, last[i])
+		}
+	}
+}
+
+func TestPerCoreBeatsChipWideOnSkewedWork(t *testing.T) {
+	run := func(perCore bool) sim.Result {
+		cfg := sim.DefaultConfig()
+		cfg.Freq = 4000
+		m := sim.New(cfg)
+		if perCore {
+			m.SetCoreGovernor(NewPerCoreManager(DefaultManagerConfig(0.05)).Governor())
+		} else {
+			m.SetGovernor(NewManager(DefaultManagerConfig(0.05)).Governor())
+		}
+		res, err := m.Run(skewedWorkload{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	chip := run(false)
+	pc := run(true)
+	if pc.Energy >= chip.Energy {
+		t.Errorf("per-core (%v) did not save energy vs chip-wide (%v) on skewed work",
+			pc.Energy, chip.Energy)
+	}
+	// The busy core must not be slowed much more than the bound allows.
+	if float64(pc.Time) > 1.12*float64(chip.Time) {
+		t.Errorf("per-core time %v far beyond chip-wide %v", pc.Time, chip.Time)
+	}
+}
+
+func TestPerCoreManagerValidation(t *testing.T) {
+	if NewPerCoreManager(ManagerConfig{Threshold: 0.1}).cfg.HoldOff != 1 {
+		t.Error("HoldOff not clamped")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("negative threshold accepted")
+		}
+	}()
+	NewPerCoreManager(ManagerConfig{Threshold: -1})
+}
+
+func TestDecideIdleAndBusy(t *testing.T) {
+	mg := NewPerCoreManager(DefaultManagerConfig(0.05))
+	dur := 50 * units.Microsecond
+	// Idle core: floor frequency.
+	if f := mg.decide(sim.CoreSample{Freq: 4000}, dur); f != 1000 {
+		t.Errorf("idle core frequency %v", f)
+	}
+	// Fully busy, pure scaling: must stay at (or near) max.
+	busy := sim.CoreSample{Freq: 4000, Delta: cpu.Counters{Active: dur, Instrs: 100_000}}
+	if f := mg.decide(busy, dur); f < 3500 {
+		t.Errorf("compute-bound core dropped to %v", f)
+	}
+	// Fully memory-bound: can drop to the floor.
+	memb := sim.CoreSample{Freq: 4000, Delta: cpu.Counters{Active: dur, CritNS: dur}}
+	if f := mg.decide(memb, dur); f != 1000 {
+		t.Errorf("memory-bound core at %v, want 1 GHz", f)
+	}
+}
+
+func TestFeedbackManagerHoldsBound(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long")
+	}
+	spec, err := dacapo.ByName("pmd.scale")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := sim.DefaultConfig()
+	cfg.Freq = 4000
+	spec.Configure(&cfg)
+	ref, err := sim.New(cfg).Run(dacapo.New(spec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mg := NewFeedbackManager(DefaultManagerConfig(0.10))
+	m := sim.New(cfg)
+	m.SetGovernor(mg.Governor())
+	res, err := m.Run(dacapo.New(spec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	slow := float64(res.Time)/float64(ref.Time) - 1
+	if slow < 0.02 || slow > 0.15 {
+		t.Errorf("feedback slowdown %.1f%% not near the 10%% bound", slow*100)
+	}
+	if mg.RealizedSlowdown() <= 0 {
+		t.Error("realized-slowdown ledger never moved")
+	}
+}
+
+func TestFeedbackManagerValidation(t *testing.T) {
+	if NewFeedbackManager(ManagerConfig{Threshold: 0.1}).cfg.HoldOff != 1 {
+		t.Error("HoldOff not clamped")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("negative threshold accepted")
+		}
+	}()
+	NewFeedbackManager(ManagerConfig{Threshold: -1})
+}

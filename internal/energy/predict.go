@@ -1,0 +1,46 @@
+package energy
+
+import (
+	"depburst/internal/core"
+	"depburst/internal/sim"
+	"depburst/internal/units"
+)
+
+// predictInterval estimates the wall-clock duration of one scheduling
+// interval at frequency f.
+//
+// When the interval contains synchronization epochs, DEP's epoch
+// aggregation already produces wall time. When it does not (a long compute
+// phase), the aggregate counters cover *core time* summed over every
+// thread; the interval's wall time is scaled by the predicted-to-measured
+// core-time ratio, which assumes the interval's parallelism is unchanged
+// by the frequency switch — exact for phases with no scheduling activity,
+// which is the only case that reaches the fallback.
+func predictInterval(m *sim.Machine, s sim.QuantumSample, f units.Freq, opts core.Options) units.Time {
+	epochs := m.Kern.Recorder().Epochs()
+	hi := s.EpochHi
+	if hi > len(epochs) {
+		hi = len(epochs)
+	}
+	if window := epochs[s.EpochLo:hi]; len(window) > 0 {
+		return core.PredictEpochs(window, s.Freq, f, opts)
+	}
+	if s.Delta.Active <= 0 {
+		return 0
+	}
+	return wallRatioPredict(s, f, opts)
+}
+
+// wallRatioPredict scales the interval's wall duration by the predicted-to-
+// measured core-time ratio of its aggregate counters. Unlike the epoch
+// window (whose epochs can span several quanta), it covers exactly this
+// interval, which makes it the right unit for cumulative accounting.
+func wallRatioPredict(s sim.QuantumSample, f units.Freq, opts core.Options) units.Time {
+	dur := s.End - s.Start
+	if s.Delta.Active <= 0 {
+		// Idle interval: timers and waits do not scale.
+		return dur
+	}
+	coreTime := core.PredictAggregate(s.Delta, s.Freq, f, opts)
+	return units.Time(float64(dur) * float64(coreTime) / float64(s.Delta.Active))
+}

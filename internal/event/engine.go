@@ -1,0 +1,171 @@
+// Package event implements the discrete-event simulation engine.
+//
+// The engine maintains a priority queue of timestamped callbacks. Events at
+// equal timestamps fire in the order they were scheduled (FIFO via a
+// monotonically increasing sequence number), which makes simulations
+// deterministic: the same schedule of calls always produces the same
+// execution order.
+package event
+
+import (
+	"container/heap"
+
+	"depburst/internal/units"
+)
+
+// Func is an event callback. It receives the current simulated time.
+type Func func(now units.Time)
+
+// Handle identifies a scheduled event so it can be cancelled.
+type Handle struct {
+	seq uint64
+}
+
+type item struct {
+	at     units.Time
+	seq    uint64
+	fn     Func
+	cancel bool
+	index  int
+}
+
+type queue []*item
+
+func (q queue) Len() int { return len(q) }
+
+func (q queue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+
+func (q queue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].index = i
+	q[j].index = j
+}
+
+func (q *queue) Push(x any) {
+	it := x.(*item)
+	it.index = len(*q)
+	*q = append(*q, it)
+}
+
+func (q *queue) Pop() any {
+	old := *q
+	n := len(old)
+	it := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return it
+}
+
+// Engine is a discrete-event simulator clock and queue. The zero value is
+// ready to use at time 0.
+type Engine struct {
+	now     units.Time
+	nextSeq uint64
+	q       queue
+	byseq   map[uint64]*item
+	stopped bool
+}
+
+// New returns an engine starting at time 0.
+func New() *Engine {
+	return &Engine{byseq: make(map[uint64]*item)}
+}
+
+// Now returns the current simulated time.
+func (e *Engine) Now() units.Time { return e.now }
+
+// Schedule registers fn to run at time at. Scheduling in the past (before
+// Now) panics: it would silently reorder causality.
+func (e *Engine) Schedule(at units.Time, fn Func) Handle {
+	if at < e.now {
+		panic("event: scheduling in the past")
+	}
+	if e.byseq == nil {
+		e.byseq = make(map[uint64]*item)
+	}
+	it := &item{at: at, seq: e.nextSeq, fn: fn}
+	e.nextSeq++
+	heap.Push(&e.q, it)
+	e.byseq[it.seq] = it
+	return Handle{seq: it.seq}
+}
+
+// After schedules fn to run d after the current time.
+func (e *Engine) After(d units.Time, fn Func) Handle {
+	return e.Schedule(e.now+d, fn)
+}
+
+// Cancel prevents a scheduled event from firing. Cancelling an event that
+// already fired (or was already cancelled) is a no-op.
+func (e *Engine) Cancel(h Handle) {
+	if it, ok := e.byseq[h.seq]; ok {
+		it.cancel = true
+		delete(e.byseq, h.seq)
+	}
+}
+
+// Pending reports the number of live (non-cancelled) events in the queue.
+func (e *Engine) Pending() int { return len(e.byseq) }
+
+// Step fires the earliest pending event and returns true, or returns false
+// if the queue is empty.
+func (e *Engine) Step() bool {
+	for e.q.Len() > 0 {
+		it := heap.Pop(&e.q).(*item)
+		if it.cancel {
+			continue
+		}
+		delete(e.byseq, it.seq)
+		e.now = it.at
+		it.fn(e.now)
+		return true
+	}
+	return false
+}
+
+// Run fires events until the queue drains or Stop is called. It returns the
+// final simulated time.
+func (e *Engine) Run() units.Time {
+	e.stopped = false
+	for !e.stopped && e.Step() {
+	}
+	return e.now
+}
+
+// RunUntil fires events with timestamps <= deadline. Events scheduled later
+// remain queued. It returns the final simulated time, which never exceeds
+// the deadline.
+func (e *Engine) RunUntil(deadline units.Time) units.Time {
+	e.stopped = false
+	for !e.stopped {
+		// Peek for the next live event.
+		next, ok := e.peek()
+		if !ok || next > deadline {
+			break
+		}
+		e.Step()
+	}
+	if e.now < deadline {
+		e.now = deadline
+	}
+	return e.now
+}
+
+// Stop makes Run or RunUntil return after the current event completes.
+func (e *Engine) Stop() { e.stopped = true }
+
+func (e *Engine) peek() (units.Time, bool) {
+	for e.q.Len() > 0 {
+		if e.q[0].cancel {
+			heap.Pop(&e.q)
+			continue
+		}
+		return e.q[0].at, true
+	}
+	return 0, false
+}

@@ -1,0 +1,135 @@
+package event
+
+import (
+	"testing"
+
+	"depburst/internal/units"
+)
+
+func TestOrdering(t *testing.T) {
+	e := New()
+	var order []int
+	e.Schedule(30, func(units.Time) { order = append(order, 3) })
+	e.Schedule(10, func(units.Time) { order = append(order, 1) })
+	e.Schedule(20, func(units.Time) { order = append(order, 2) })
+	end := e.Run()
+	if end != 30 {
+		t.Errorf("end time %v, want 30", end)
+	}
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Errorf("order %v", order)
+	}
+}
+
+func TestFIFOTieBreak(t *testing.T) {
+	e := New()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.Schedule(5, func(units.Time) { order = append(order, i) })
+	}
+	e.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("same-time events fired out of schedule order: %v", order)
+		}
+	}
+}
+
+func TestScheduleFromCallback(t *testing.T) {
+	e := New()
+	var fired []units.Time
+	e.Schedule(10, func(now units.Time) {
+		fired = append(fired, now)
+		e.Schedule(now+5, func(now units.Time) { fired = append(fired, now) })
+	})
+	e.Run()
+	if len(fired) != 2 || fired[0] != 10 || fired[1] != 15 {
+		t.Errorf("fired %v", fired)
+	}
+}
+
+func TestCancel(t *testing.T) {
+	e := New()
+	ran := false
+	h := e.Schedule(10, func(units.Time) { ran = true })
+	e.Cancel(h)
+	e.Run()
+	if ran {
+		t.Error("cancelled event fired")
+	}
+	if e.Pending() != 0 {
+		t.Errorf("pending = %d", e.Pending())
+	}
+	// Double cancel is a no-op.
+	e.Cancel(h)
+}
+
+func TestSchedulePastPanics(t *testing.T) {
+	e := New()
+	e.Schedule(10, func(units.Time) {})
+	e.Run()
+	defer func() {
+		if recover() == nil {
+			t.Error("scheduling in the past did not panic")
+		}
+	}()
+	e.Schedule(5, func(units.Time) {})
+}
+
+func TestRunUntil(t *testing.T) {
+	e := New()
+	var fired []units.Time
+	for _, at := range []units.Time{5, 15, 25} {
+		at := at
+		e.Schedule(at, func(now units.Time) { fired = append(fired, now) })
+	}
+	end := e.RunUntil(20)
+	if end != 20 {
+		t.Errorf("RunUntil end = %v", end)
+	}
+	if len(fired) != 2 {
+		t.Errorf("fired %v, want events at 5 and 15 only", fired)
+	}
+	e.Run()
+	if len(fired) != 3 {
+		t.Errorf("remaining event lost: %v", fired)
+	}
+}
+
+func TestStop(t *testing.T) {
+	e := New()
+	n := 0
+	e.Schedule(1, func(units.Time) { n++; e.Stop() })
+	e.Schedule(2, func(units.Time) { n++ })
+	e.Run()
+	if n != 1 {
+		t.Errorf("Stop did not halt the loop: n=%d", n)
+	}
+	e.Run() // resume
+	if n != 2 {
+		t.Errorf("second Run did not drain: n=%d", n)
+	}
+}
+
+func TestAfter(t *testing.T) {
+	e := New()
+	e.Schedule(100, func(now units.Time) {
+		e.After(7, func(at units.Time) {
+			if at != 107 {
+				t.Errorf("After fired at %v", at)
+			}
+		})
+	})
+	e.Run()
+}
+
+func TestCancelInterleavedWithPeek(t *testing.T) {
+	e := New()
+	h := e.Schedule(10, func(units.Time) { t.Error("cancelled fired") })
+	e.Schedule(20, func(units.Time) {})
+	e.Cancel(h)
+	if end := e.RunUntil(30); end != 30 {
+		t.Errorf("end %v", end)
+	}
+}

@@ -1,0 +1,109 @@
+package experiments
+
+import (
+	"fmt"
+
+	"depburst/internal/dacapo"
+	"depburst/internal/energy"
+	"depburst/internal/kernel"
+	"depburst/internal/report"
+	"depburst/internal/sim"
+	"depburst/internal/units"
+)
+
+// coRunTruth runs a consolidated pair at frequency f (memoised).
+func (r *Runner) coRunTruth(a, b dacapo.Spec, f units.Freq) *sim.Result {
+	key := truthKey{bench: "corun/" + a.Name + "+" + b.Name, freq: f}
+	r.mu.Lock()
+	res, ok := r.cache[key]
+	r.mu.Unlock()
+	if ok {
+		return res
+	}
+	cfg := r.Base
+	cfg.Freq = f
+	a.Configure(&cfg) // tenant 0 uses the machine's default JVM
+	m := sim.New(cfg)
+	out, err := m.Run(&dacapo.CoRun{Specs: []dacapo.Spec{a, b}})
+	if err != nil {
+		panic(fmt.Sprintf("experiments: co-run %s+%s@%v: %v", a.Name, b.Name, f, err))
+	}
+	r.mu.Lock()
+	r.cache[key] = &out
+	r.mu.Unlock()
+	return &out
+}
+
+// tenantEnd returns when the given tenant's application threads finished
+// (max exit time over threads whose names carry the benchmark's prefix).
+func tenantEnd(res *sim.Result, bench string) units.Time {
+	var end units.Time
+	for _, t := range res.Threads {
+		if t.Class != kernel.ClassApp {
+			continue
+		}
+		if len(t.Name) >= len(bench) && t.Name[:len(bench)] == bench {
+			if t.End > end {
+				end = t.End
+			}
+		}
+	}
+	return end
+}
+
+// Consolidation is the multi-tenant study: two benchmarks co-run on the
+// four cores, each in its own managed-runtime instance (heap, GC,
+// stop-the-world domain). The table reports each tenant's slowdown from
+// interference at 4 GHz, and what the chip-wide energy manager does to the
+// consolidated pair.
+func (r *Runner) Consolidation(pairs [][2]string) *report.Table {
+	if pairs == nil {
+		pairs = [][2]string{
+			{"xalan", "sunflow"},  // memory + compute
+			{"lusearch", "pmd"},   // memory + memory
+			{"sunflow", "avrora"}, // compute + compute
+		}
+	}
+	t := &report.Table{
+		Title: "Extension: consolidated tenants (two JVMs, four cores)",
+		Header: []string{"pair", "A interference", "B interference",
+			"managed slowdown", "managed savings"},
+	}
+	for _, p := range pairs {
+		a, err := dacapo.ByName(p[0])
+		if err != nil {
+			panic(err)
+		}
+		b, err := dacapo.ByName(p[1])
+		if err != nil {
+			panic(err)
+		}
+		soloA := r.Truth(a, FMax)
+		soloB := r.Truth(b, FMax)
+		co := r.coRunTruth(a, b, FMax)
+
+		interA := report.RelError(float64(tenantEnd(co, a.Name)), float64(soloA.Time))
+		interB := report.RelError(float64(tenantEnd(co, b.Name)), float64(soloB.Time))
+
+		// Managed co-run: the chip-wide DEP+BURST manager governs the
+		// consolidated pair against the unmanaged co-run.
+		cfg := r.Base
+		cfg.Freq = FMax
+		a.Configure(&cfg)
+		mg := energy.NewManager(energy.DefaultManagerConfig(0.10))
+		m := sim.New(cfg)
+		m.SetGovernor(mg.Governor())
+		managed, err := m.Run(&dacapo.CoRun{Specs: []dacapo.Spec{a, b}})
+		if err != nil {
+			panic(err)
+		}
+		mSlow := report.RelError(float64(managed.Time), float64(co.Time))
+		mSave := 1 - float64(managed.Energy)/float64(co.Energy)
+
+		t.AddRow(p[0]+" + "+p[1],
+			report.Pct(interA), report.Pct(interB),
+			report.Pct(mSlow), report.Pct(mSave))
+	}
+	t.AddNote("interference: tenant completion vs running alone at 4 GHz; managed columns vs the unmanaged co-run")
+	return t
+}

@@ -1,0 +1,95 @@
+package experiments
+
+import (
+	"os"
+	"testing"
+
+	"depburst/internal/dacapo"
+	"depburst/internal/kernel"
+	"depburst/internal/units"
+)
+
+func TestCoRunTenantsIsolatedWorlds(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long integration experiment")
+	}
+	r := NewRunner()
+	a, _ := dacapo.ByName("pmd.scale")
+	b, _ := dacapo.ByName("lusearch.fix")
+	res := r.coRunTruth(a, b, 1000)
+
+	// Both tenants ran and finished.
+	if tenantEnd(res, a.Name) <= 0 || tenantEnd(res, b.Name) <= 0 {
+		t.Fatal("a tenant never ran")
+	}
+
+	// Both tenants collected garbage: marks for group 0 (bare) and
+	// group 1 (suffixed) both appear.
+	var g0, g1 int
+	for _, mk := range res.Marks {
+		switch mk.Label {
+		case "gc-start":
+			g0++
+		case "gc-start#1":
+			g1++
+		}
+	}
+	if g0 == 0 || g1 == 0 {
+		t.Fatalf("collections per tenant: %d / %d", g0, g1)
+	}
+
+	// Isolation: during tenant 1's GC windows, tenant 0's application
+	// threads may keep executing (the worlds are separate). Find one
+	// g1 window and check some epoch inside it has group-0 app work.
+	type window struct{ lo, hi units.Time }
+	var wins []window
+	var lo units.Time = -1
+	for _, mk := range res.Marks {
+		switch mk.Label {
+		case "gc-start#1":
+			lo = mk.At
+		case "gc-end#1":
+			if lo >= 0 {
+				wins = append(wins, window{lo, mk.At})
+				lo = -1
+			}
+		}
+	}
+	if len(wins) == 0 {
+		t.Fatal("no tenant-1 GC windows")
+	}
+	// Thread IDs belonging to tenant 0's app threads.
+	group0 := map[kernel.ThreadID]bool{}
+	for _, th := range res.Threads {
+		if th.Class == kernel.ClassApp && len(th.Name) >= len(a.Name) && th.Name[:len(a.Name)] == a.Name {
+			group0[th.ID] = true
+		}
+	}
+	overlapWork := false
+	for _, ep := range res.Epochs {
+		for _, w := range wins {
+			if ep.Start >= w.lo && ep.End <= w.hi {
+				for _, sl := range ep.Slices {
+					if group0[sl.TID] && sl.Delta.Instrs > 0 {
+						overlapWork = true
+					}
+				}
+			}
+		}
+	}
+	if !overlapWork {
+		t.Error("tenant 0 never executed during tenant 1's GC: worlds are not isolated")
+	}
+}
+
+func TestConsolidationTable(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long integration experiment")
+	}
+	r := NewRunner()
+	tb := r.Consolidation([][2]string{{"pmd.scale", "lusearch.fix"}})
+	tb.Fprint(os.Stdout)
+	if len(tb.Rows) != 1 {
+		t.Fatalf("rows %d", len(tb.Rows))
+	}
+}

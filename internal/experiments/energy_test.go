@@ -1,0 +1,15 @@
+package experiments
+
+import (
+	"os"
+	"testing"
+)
+
+func TestEnergyFigures(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long integration experiment")
+	}
+	r := NewRunner()
+	r.Fig6().Fprint(os.Stdout)
+	r.Fig7(500).Fprint(os.Stdout)
+}

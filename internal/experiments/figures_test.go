@@ -1,0 +1,19 @@
+package experiments
+
+import (
+	"os"
+	"testing"
+)
+
+// TestFigures is a long-running integration check that prints the main
+// accuracy experiments. Run with -v to inspect.
+func TestFigures(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long integration experiment")
+	}
+	r := NewRunner()
+	r.Table1().Fprint(os.Stdout)
+	r.Fig3a().Fprint(os.Stdout)
+	r.Fig3b().Fprint(os.Stdout)
+	r.Fig4().Fprint(os.Stdout)
+}

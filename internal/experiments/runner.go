@@ -1,0 +1,105 @@
+// Package experiments regenerates every table and figure in the paper's
+// evaluation (see DESIGN.md's experiment index): Table I, Figures 1, 3(a),
+// 3(b), 4, 6 and 7. Each experiment returns a report.Table whose rows
+// mirror what the paper plots.
+package experiments
+
+import (
+	"fmt"
+	"sync"
+
+	"depburst/internal/core"
+	"depburst/internal/dacapo"
+	"depburst/internal/sim"
+	"depburst/internal/units"
+)
+
+// Frequencies used throughout the evaluation.
+var (
+	// EvalFreqs are the paper's measurement frequencies.
+	EvalFreqs = []units.Freq{1000, 2000, 3000, 4000}
+	// FMin and FMax bound the DVFS range.
+	FMin units.Freq = 1000
+	FMax units.Freq = 4000
+)
+
+// Runner executes and memoises ground-truth benchmark runs. Truth runs are
+// pure functions of (benchmark, frequency, seed), so each is executed once
+// and shared across experiments.
+type Runner struct {
+	// Base is the machine template; per-run copies adjust frequency and
+	// the benchmark's JVM sizing.
+	Base sim.Config
+
+	mu    sync.Mutex
+	cache map[truthKey]*sim.Result
+}
+
+type truthKey struct {
+	bench string
+	freq  units.Freq
+}
+
+// NewRunner returns a Runner over the default machine.
+func NewRunner() *Runner {
+	return &Runner{Base: sim.DefaultConfig(), cache: make(map[truthKey]*sim.Result)}
+}
+
+// Truth returns the measured run of spec at frequency f (memoised).
+func (r *Runner) Truth(spec dacapo.Spec, f units.Freq) *sim.Result {
+	key := truthKey{bench: spec.Name, freq: f}
+	r.mu.Lock()
+	res, ok := r.cache[key]
+	r.mu.Unlock()
+	if ok {
+		return res
+	}
+
+	cfg := r.Base
+	cfg.Freq = f
+	spec.Configure(&cfg)
+	m := sim.New(cfg)
+	out, err := m.Run(dacapo.New(spec))
+	if err != nil {
+		panic(fmt.Sprintf("experiments: truth run %s@%v: %v", spec.Name, f, err))
+	}
+
+	r.mu.Lock()
+	r.cache[key] = &out
+	r.mu.Unlock()
+	return &out
+}
+
+// Observe converts a measured run into the predictor-visible observation.
+func Observe(res *sim.Result) *core.Observation {
+	obs := &core.Observation{
+		Base:   res.Freq,
+		Total:  res.Time,
+		Epochs: res.Epochs,
+		Marks:  res.Marks,
+	}
+	for _, t := range res.Threads {
+		obs.Threads = append(obs.Threads, core.ThreadObs{
+			TID:   t.ID,
+			Name:  t.Name,
+			Class: t.Class,
+			Start: t.Start,
+			End:   t.End,
+			C:     t.C,
+		})
+	}
+	return obs
+}
+
+// Models returns the paper's six-model comparison set: M+CRIT, COOP and
+// DEP, each with and without BURST.
+func Models() []core.Model {
+	return []core.Model{
+		core.NewMCrit(core.Options{}),
+		core.NewMCrit(core.Options{Burst: true}),
+		core.NewCOOP(core.Options{}),
+		core.NewCOOP(core.Options{Burst: true}),
+		core.NewDEP(core.Options{}),
+		core.NewDEP(core.Options{Burst: true}),
+	}
+}

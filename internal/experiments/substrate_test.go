@@ -1,0 +1,66 @@
+package experiments
+
+import (
+	"os"
+	"testing"
+
+	"depburst/internal/core"
+	"depburst/internal/report"
+)
+
+func TestSubstrateAblations(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long integration experiment")
+	}
+	r := NewRunner()
+	r.GCPolicyAblation().Fprint(os.Stdout)
+	r.PrefetchAblation().Fprint(os.Stdout)
+}
+
+func TestSequentialEngineOrdering(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long integration experiment")
+	}
+	r := NewRunner()
+	tb := r.SequentialBackground()
+	tb.Fprint(os.Stdout)
+	// CRIT must dominate Leading Loads on the sequential suite, and the
+	// pointer-chasing workload must be where Leading Loads fails hardest
+	// (its constant-latency, independent-miss assumption).
+	w := seqSuite()[2] // seq-pointer
+	base := r.seqTruth(w, 1000)
+	target := r.seqTruth(w, 4000)
+	obs := Observe(base)
+	crit := core.NewMCrit(core.Options{Engine: core.CRIT})
+	ll := core.NewMCrit(core.Options{Engine: core.LeadingLoads})
+	eCrit := report.RelError(float64(crit.Predict(obs, 4000)), float64(target.Time))
+	eLL := report.RelError(float64(ll.Predict(obs, 4000)), float64(target.Time))
+	if abs(eCrit) >= abs(eLL) {
+		t.Errorf("CRIT (%.3f) not better than Leading Loads (%.3f) on pointer chasing", eCrit, eLL)
+	}
+	if abs(eLL) < 0.15 {
+		t.Errorf("Leading Loads error %.3f implausibly low on pointer chasing", eLL)
+	}
+}
+
+func TestHeapPressureSweepSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long integration experiment")
+	}
+	tb := NewRunner().HeapPressureSweep("pmd.scale")
+	if len(tb.Rows) != 5 {
+		t.Fatalf("sweep rows %d", len(tb.Rows))
+	}
+	tb.Fprint(os.Stdout)
+}
+
+func TestRegressionComparisonSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long integration experiment")
+	}
+	tb := NewRunner().RegressionComparison()
+	if len(tb.Rows) != 15 { // 7 benchmarks x 2 targets + avg row
+		t.Fatalf("rows %d", len(tb.Rows))
+	}
+	tb.Fprint(os.Stdout)
+}

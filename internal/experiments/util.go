@@ -1,0 +1,7 @@
+package experiments
+
+import "strconv"
+
+func itoa(n int) string { return strconv.Itoa(n) }
+
+func f2(x float64) string { return strconv.FormatFloat(x, 'f', 2, 64) }

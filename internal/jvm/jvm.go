@@ -1,0 +1,448 @@
+// Package jvm simulates the managed-runtime substrate: a generational heap
+// with bump-pointer TLAB allocation, mandatory zero-initialisation of fresh
+// memory (Java's memory-safety guarantee, and the first source of store
+// bursts), and a stop-the-world parallel copying collector run by service
+// threads (the second source of store bursts, and a major source of
+// application/service-thread synchronization).
+//
+// The design mirrors Jikes RVM's default configuration used in the paper:
+// application threads reach safepoints between work items, a collection
+// stops the world, parallel GC worker threads trace live objects
+// (pointer-chasing dependent loads) and copy survivors to the mature space
+// (load/store bursts), then the world restarts.
+package jvm
+
+import (
+	"fmt"
+
+	"depburst/internal/cpu"
+	"depburst/internal/kernel"
+	"depburst/internal/mem"
+	"depburst/internal/rng"
+	"depburst/internal/trace"
+	"depburst/internal/units"
+)
+
+// Policy selects the collection strategy.
+type Policy int
+
+// Collector policies.
+const (
+	// GenerationalCopying is the paper's (and Jikes RVM's) default: minor
+	// collections evacuate nursery survivors to the mature space; a major
+	// collection compacts the mature space when it fills.
+	GenerationalCopying Policy = iota
+	// FullHeapSemispace traces and copies the entire live heap at every
+	// collection — the classic non-generational alternative, far more
+	// expensive per pause. It exists to study how the predictors and the
+	// energy manager react to a different runtime (GC-policy ablation).
+	FullHeapSemispace
+)
+
+func (p Policy) String() string {
+	switch p {
+	case GenerationalCopying:
+		return "generational"
+	case FullHeapSemispace:
+		return "semispace"
+	default:
+		return "?"
+	}
+}
+
+// Config sizes the managed heap and the collector.
+type Config struct {
+	// Policy selects the collection strategy.
+	Policy Policy
+
+	// NurseryBytes is the young-generation size; a minor collection
+	// triggers when it fills.
+	NurseryBytes int64
+	// MatureBytes caps the old generation; exceeding the headroom
+	// triggers a major (full-heap) collection.
+	MatureBytes int64
+	// TLABBytes is the thread-local allocation buffer size; refilling a
+	// TLAB zero-initialises it (the allocation store burst).
+	TLABBytes int64
+	// GCThreads is the number of parallel collector threads.
+	GCThreads int
+	// SurvivalRate is the fraction of the nursery live at a minor GC.
+	SurvivalRate float64
+	// MatureLiveFrac is the fraction of the mature space live at a major GC.
+	MatureLiveFrac float64
+	// ObjectBytes is the mean object size, which sets how many tracing
+	// loads a live byte costs.
+	ObjectBytes int64
+	// TraceGapInstrs is the instruction distance between dependent loads
+	// while tracing (scanning an object between pointer hops).
+	TraceGapInstrs int64
+	// TraceDepFrac is the fraction of tracing loads that chain on the
+	// previous one; the remainder overlap (breadth-first MLP).
+	TraceDepFrac float64
+	// JITWorkInstrs is the amount of (replayed) compilation the JIT
+	// service thread performs at startup; 0 disables the JIT thread.
+	JITWorkInstrs int64
+}
+
+// DefaultConfig returns a moderate-pressure heap scaled to the simulator's
+// compressed time scale (the paper's 68–108 MB heaps shrink with the ~100x
+// shorter runs).
+func DefaultConfig() Config {
+	return Config{
+		NurseryBytes:   1 << 20, // 1 MiB
+		MatureBytes:    16 << 20,
+		TLABBytes:      32 << 10,
+		GCThreads:      4,
+		SurvivalRate:   0.15,
+		MatureLiveFrac: 0.4,
+		ObjectBytes:    64,
+		TraceGapInstrs: 20,
+		TraceDepFrac:   0.55,
+		JITWorkInstrs:  0,
+	}
+}
+
+// Address-space layout: the managed heap lives in its own range; workload
+// static data uses addresses above HeapTop.
+const (
+	HeapBase   mem.Addr = 0x1000_0000
+	nurseryOff          = 0
+	matureOff           = 1 << 28 // mature space 256 MiB above nursery base
+	// HeapTop is the first address above the managed heap; workloads
+	// place non-heap regions at or above it.
+	HeapTop mem.Addr = HeapBase + (1 << 30)
+)
+
+// Stats aggregates collector activity over a run.
+type Stats struct {
+	MinorGCs, MajorGCs int
+	// GCTime is total stop-the-world time; Pauses holds each pause.
+	GCTime      units.Time
+	Pauses      []Pause
+	AllocBytes  int64
+	CopiedBytes int64
+}
+
+// Pause records one stop-the-world collection.
+type Pause struct {
+	Start, End units.Time
+	Major      bool
+}
+
+// JVM is one managed-runtime instance. A machine usually runs one, but
+// several can co-run (consolidation): each gets its own kernel thread
+// group, heap range and stop-the-world domain.
+type JVM struct {
+	k     *kernel.Kernel
+	hier  *mem.Hierarchy
+	cfg   Config
+	r     *rng.Source
+	group int
+
+	nurseryBase mem.Addr
+	matureBase  mem.Addr
+
+	nurseryUsed int64
+	matureUsed  int64
+
+	gcRequested bool
+	gcActive    bool
+	roundMajor  bool
+	gcStart     units.Time
+	gcDone      kernel.Futex
+	gcWork      kernel.Futex
+	gcBarrier   *kernel.Barrier
+	workPending []bool
+	copyShare   []int64 // per-worker survivor bytes this round
+	traceShare  []int64 // per-worker bytes to trace this round
+
+	stats Stats
+}
+
+// New creates a JVM in thread group 0 and spawns its service threads
+// (GC workers and, if configured, the JIT compiler).
+func New(k *kernel.Kernel, hier *mem.Hierarchy, cfg Config, r *rng.Source) *JVM {
+	return NewGroup(k, hier, cfg, r, 0)
+}
+
+// NewGroup creates a JVM bound to the given kernel thread group, with its
+// heap placed in a group-private address range. Application threads of
+// this instance must be spawned with kernel.SpawnGroup using the same
+// group, so that a collection stops exactly this instance's world.
+func NewGroup(k *kernel.Kernel, hier *mem.Hierarchy, cfg Config, r *rng.Source, group int) *JVM {
+	if cfg.GCThreads <= 0 {
+		panic("jvm: need at least one GC thread")
+	}
+	if group < 0 || group > 255 {
+		panic("jvm: group out of range")
+	}
+	base := HeapBase + mem.Addr(group)<<33 // 8 GiB apart, clear of workload regions
+	j := &JVM{
+		k:           k,
+		hier:        hier,
+		cfg:         cfg,
+		r:           r,
+		group:       group,
+		nurseryBase: base + nurseryOff,
+		matureBase:  base + matureOff,
+		gcBarrier:   kernel.NewBarrier(cfg.GCThreads),
+		workPending: make([]bool, cfg.GCThreads),
+		copyShare:   make([]int64, cfg.GCThreads),
+		traceShare:  make([]int64, cfg.GCThreads),
+	}
+	k.SetParkHook(j.onPark)
+	for i := 0; i < cfg.GCThreads; i++ {
+		idx := i
+		k.SpawnGroup("gc-worker", kernel.ClassService, group, idx%k.Cores(), j.workerProgram(idx))
+	}
+	if cfg.JITWorkInstrs > 0 {
+		k.SpawnGroup("jit", kernel.ClassService, group, -1, j.jitProgram())
+	}
+	return j
+}
+
+// Group returns the kernel thread group this instance stops and restarts.
+func (j *JVM) Group() int { return j.group }
+
+// markLabel names this instance's GC phase marks. The default instance
+// keeps the bare labels the COOP predictor matches; tenants suffix their
+// group so co-running instances stay distinguishable.
+func (j *JVM) markLabel(base string) string {
+	if j.group == 0 {
+		return base
+	}
+	return fmt.Sprintf("%s#%d", base, j.group)
+}
+
+// Stats returns collector statistics accumulated so far.
+func (j *JVM) Stats() Stats { return j.stats }
+
+// Config returns the JVM configuration.
+func (j *JVM) Config() Config { return j.cfg }
+
+// HeapRegion returns the address region spanning the live heap, which GC
+// tracing and benchmark heap accesses draw from.
+func (j *JVM) HeapRegion() trace.RandomRegion {
+	size := j.matureUsed
+	if size < j.cfg.NurseryBytes {
+		size = j.cfg.NurseryBytes
+	}
+	return trace.RandomRegion{Base: j.matureBase, Size: size + j.cfg.NurseryBytes}
+}
+
+// TLAB is a thread-local allocation buffer. Each application thread owns
+// one and allocates from it with a pure pointer bump; refills come from the
+// shared nursery and pay the zero-initialisation store burst.
+type TLAB struct {
+	base mem.Addr
+	used int64
+	size int64
+	blk  cpu.Block // reusable block for zero-init bursts
+}
+
+// Alloc allocates bytes for the calling thread, triggering zero-init
+// bursts on TLAB refill and a stop-the-world GC when the nursery is full.
+func (j *JVM) Alloc(e *kernel.Env, tl *TLAB, bytes int64) {
+	if bytes <= 0 {
+		return
+	}
+	j.stats.AllocBytes += bytes
+	if tl.used+bytes <= tl.size {
+		tl.used += bytes
+		return
+	}
+	j.refill(e, tl, bytes)
+}
+
+func (j *JVM) refill(e *kernel.Env, tl *TLAB, bytes int64) {
+	for {
+		if j.gcRequested || j.gcActive {
+			j.safepointPark(e)
+		}
+		size := j.cfg.TLABBytes
+		if bytes > size {
+			size = bytes
+		}
+		if j.nurseryUsed+size > j.cfg.NurseryBytes {
+			// Nursery exhausted: request a collection and stop at
+			// the safepoint until it completes.
+			j.gcRequested = true
+			j.safepointPark(e)
+			continue
+		}
+		base := j.nurseryBase + mem.Addr(j.nurseryUsed)
+		j.nurseryUsed += size
+		trace.FillZeroInit(&tl.blk, base, size, 2.0)
+		e.Compute(&tl.blk)
+		tl.base, tl.size, tl.used = base, size, bytes
+		return
+	}
+}
+
+// Safepoint is called by application threads between work items; the thread
+// parks here while a collection is pending or in progress.
+func (j *JVM) Safepoint(e *kernel.Env) {
+	if j.gcRequested || j.gcActive {
+		j.safepointPark(e)
+	}
+}
+
+func (j *JVM) safepointPark(e *kernel.Env) {
+	for {
+		slept := e.ParkIf(&j.gcDone, func() bool { return j.gcRequested || j.gcActive })
+		if !slept {
+			return
+		}
+	}
+}
+
+// onPark runs (in engine context) whenever any thread goes to sleep; when a
+// collection has been requested and every application thread has stopped,
+// it starts the GC round.
+func (j *JVM) onPark(now units.Time) {
+	if !j.gcRequested || j.gcActive {
+		return
+	}
+	if j.k.RunningOrRunnableGroup(kernel.ClassApp, j.group) {
+		return
+	}
+	j.gcActive = true
+	j.gcStart = now
+	j.roundMajor = false
+
+	survivors := int64(float64(j.nurseryUsed) * j.cfg.SurvivalRate)
+	if j.cfg.Policy == FullHeapSemispace {
+		// Semispace collections are always whole-heap.
+		j.roundMajor = true
+	} else if j.matureUsed+survivors > j.cfg.MatureBytes {
+		j.roundMajor = true
+	}
+
+	// Partition this round's work across the GC worker threads.
+	n := int64(j.cfg.GCThreads)
+	traceBytes := int64(float64(j.nurseryUsed) * j.cfg.SurvivalRate)
+	copyBytes := survivors
+	if j.roundMajor {
+		live := int64(float64(j.matureUsed) * j.cfg.MatureLiveFrac)
+		traceBytes += live
+		copyBytes += live
+	}
+	for i := range j.copyShare {
+		j.traceShare[i] = traceBytes / n
+		j.copyShare[i] = copyBytes / n
+		j.workPending[i] = true
+	}
+	j.k.Recorder().Mark(now, j.markLabel("gc-start"))
+	j.k.WakeAt(&j.gcWork, j.cfg.GCThreads, now)
+}
+
+// workerProgram is the body of one parallel GC worker thread.
+func (j *JVM) workerProgram(idx int) kernel.Program {
+	return func(e *kernel.Env) {
+		r := j.r.Fork(uint64(idx) + 0x9C)
+		var blk cpu.Block
+		for {
+			e.ParkIf(&j.gcWork, func() bool { return !j.workPending[idx] })
+			j.workPending[idx] = false
+			j.collect(e, idx, r, &blk)
+			e.BarrierWait(j.gcBarrier)
+			if idx == 0 {
+				j.finishRound(e)
+			}
+		}
+	}
+}
+
+// collect performs this worker's share of one collection: trace live
+// objects (dependent pointer-chasing loads), then copy survivors into the
+// mature space (load+store bursts that fill the store queue).
+func (j *JVM) collect(e *kernel.Env, idx int, r *rng.Source, blk *cpu.Block) {
+	const chunkLoads = 512
+	const chunkCopy = 32 << 10
+
+	// Trace phase: one load per object header plus reference fields.
+	heap := j.HeapRegion()
+	loads := j.traceShare[idx] / j.cfg.ObjectBytes
+	for loads > 0 {
+		n := int64(chunkLoads)
+		if loads < n {
+			n = loads
+		}
+		trace.FillPointerChase(blk, heap, n, j.cfg.TraceGapInstrs, j.cfg.TraceDepFrac, 1.5, r)
+		e.Compute(blk)
+		loads -= n
+	}
+
+	// Copy phase: evacuate survivors to the mature space.
+	remaining := j.copyShare[idx]
+	for remaining > 0 {
+		n := int64(chunkCopy)
+		if remaining < n {
+			n = remaining
+		}
+		src := j.nurseryBase + mem.Addr(r.Int63n(maxI64(j.nurseryUsed, 1)))
+		dst := j.matureBase + mem.Addr(j.matureUsed)
+		j.matureUsed += n
+		j.stats.CopiedBytes += n
+		trace.FillCopy(blk, src, dst, n, 2.0)
+		e.Compute(blk)
+		remaining -= n
+	}
+}
+
+// finishRound (worker 0 only) accounts the collection, recycles the
+// nursery, and restarts the world.
+func (j *JVM) finishRound(e *kernel.Env) {
+	now := e.Now()
+	if j.roundMajor {
+		j.stats.MajorGCs++
+		// Compaction: the mature space shrinks to its live data. The
+		// copied live data was bump-allocated above; fold it back.
+		j.matureUsed = int64(float64(j.matureUsed) * j.cfg.MatureLiveFrac)
+	} else {
+		j.stats.MinorGCs++
+	}
+	j.stats.GCTime += now - j.gcStart
+	j.stats.Pauses = append(j.stats.Pauses, Pause{Start: j.gcStart, End: now, Major: j.roundMajor})
+
+	// Recycle the nursery: fresh allocations must not hit stale lines.
+	j.hier.InvalidateRange(j.nurseryBase, j.nurseryUsed)
+	j.nurseryUsed = 0
+
+	j.gcActive = false
+	j.gcRequested = false
+	j.k.Recorder().Mark(now, j.markLabel("gc-end"))
+	e.Wake(&j.gcDone, j.gcDone.Waiters())
+}
+
+// jitProgram models the (replay-compiled) just-in-time compiler: a burst of
+// compute-intensive compilation at startup, then exit.
+func (j *JVM) jitProgram() kernel.Program {
+	return func(e *kernel.Env) {
+		r := j.r.Fork(0x717)
+		var blk cpu.Block
+		prof := trace.Profile{
+			IPC:        3.0,
+			LoadsPerKI: 4,
+			DepFrac:    0.1,
+			Addr:       trace.RandomRegion{Base: HeapTop, Size: 192 << 10},
+		}
+		remaining := j.cfg.JITWorkInstrs
+		for remaining > 0 {
+			n := int64(100_000)
+			if remaining < n {
+				n = remaining
+			}
+			trace.FillBlock(&blk, prof, n, r)
+			e.Compute(&blk)
+			remaining -= n
+		}
+	}
+}
+
+func maxI64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,337 @@
+package jvm
+
+import (
+	"testing"
+
+	"depburst/internal/cpu"
+	"depburst/internal/event"
+	"depburst/internal/kernel"
+	"depburst/internal/mem"
+	"depburst/internal/rng"
+	"depburst/internal/units"
+)
+
+type rig struct {
+	k    *kernel.Kernel
+	hier *mem.Hierarchy
+	j    *JVM
+}
+
+func newRig(cfg Config) *rig {
+	eng := event.New()
+	hier := mem.NewHierarchy(mem.DefaultHierarchyConfig(4))
+	clock := units.NewClock(1000 * units.MHz)
+	cores := make([]*cpu.Core, 4)
+	for i := range cores {
+		cores[i] = cpu.NewCore(i, cpu.DefaultConfig(), clock, hier)
+	}
+	k := kernel.New(eng, cores, kernel.DefaultConfig())
+	j := New(k, hier, cfg, rng.New(1))
+	return &rig{k: k, hier: hier, j: j}
+}
+
+func smallConfig() Config {
+	cfg := DefaultConfig()
+	cfg.NurseryBytes = 256 << 10
+	cfg.TLABBytes = 16 << 10
+	return cfg
+}
+
+func TestAllocFastPathFree(t *testing.T) {
+	r := newRig(smallConfig())
+	var slow, fast units.Time
+	r.k.Spawn("app", kernel.ClassApp, -1, func(e *kernel.Env) {
+		tl := &TLAB{}
+		r.j.Alloc(e, tl, 64) // first: refill + zero-init
+		slow = e.Now()
+		before := e.Now()
+		r.j.Alloc(e, tl, 64) // fits in TLAB: free
+		fast = e.Now() - before
+	})
+	if _, err := r.k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if slow == 0 {
+		t.Error("TLAB refill took no time (no zero-init burst)")
+	}
+	if fast != 0 {
+		t.Errorf("TLAB fast path advanced time by %v", fast)
+	}
+}
+
+func TestZeroInitProducesStores(t *testing.T) {
+	r := newRig(smallConfig())
+	r.k.Spawn("app", kernel.ClassApp, -1, func(e *kernel.Env) {
+		tl := &TLAB{}
+		r.j.Alloc(e, tl, 64)
+	})
+	r.k.Run()
+	ctr := r.k.Threads()[r.threadIdx(t, "app")].Counters()
+	wantLines := uint64(smallConfig().TLABBytes / mem.LineSize)
+	if ctr.Stores != wantLines {
+		t.Errorf("zero-init stores %d, want %d (one per line of the TLAB)", ctr.Stores, wantLines)
+	}
+}
+
+func (r *rig) threadIdx(t *testing.T, name string) int {
+	t.Helper()
+	for i, th := range r.k.Threads() {
+		if th.Name() == name {
+			return i
+		}
+	}
+	t.Fatalf("no thread %q", name)
+	return -1
+}
+
+func TestGCTriggersOnNurseryFull(t *testing.T) {
+	r := newRig(smallConfig())
+	r.k.Spawn("app", kernel.ClassApp, -1, func(e *kernel.Env) {
+		tl := &TLAB{}
+		// Allocate 3 nurseries' worth.
+		for i := 0; i < 3*int(smallConfig().NurseryBytes/1024); i++ {
+			r.j.Alloc(e, tl, 1024)
+			r.j.Safepoint(e)
+		}
+	})
+	if _, err := r.k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	st := r.j.Stats()
+	if st.MinorGCs < 2 {
+		t.Errorf("minor GCs %d, want >= 2", st.MinorGCs)
+	}
+	if st.GCTime <= 0 {
+		t.Error("no GC time accumulated")
+	}
+	if len(st.Pauses) != st.MinorGCs+st.MajorGCs {
+		t.Errorf("pauses %d vs collections %d", len(st.Pauses), st.MinorGCs+st.MajorGCs)
+	}
+	if st.AllocBytes < 3*smallConfig().NurseryBytes {
+		t.Errorf("alloc bytes %d", st.AllocBytes)
+	}
+}
+
+func TestStopTheWorldExcludesAppThreads(t *testing.T) {
+	// During every gc-start..gc-end window, no application thread may
+	// accumulate counter deltas: the world is stopped.
+	r := newRig(smallConfig())
+	for w := 0; w < 3; w++ {
+		r.k.Spawn("app", kernel.ClassApp, -1, func(e *kernel.Env) {
+			tl := &TLAB{}
+			for i := 0; i < 200; i++ {
+				r.j.Alloc(e, tl, 2048)
+				e.Compute(&cpu.Block{Instrs: 2000, IPC: 2})
+				r.j.Safepoint(e)
+			}
+		})
+	}
+	if _, err := r.k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if r.j.Stats().MinorGCs == 0 {
+		t.Fatal("no GCs happened")
+	}
+
+	marks := r.k.Recorder().Marks()
+	type window struct{ lo, hi units.Time }
+	var wins []window
+	var lo units.Time = -1
+	for _, m := range marks {
+		switch m.Label {
+		case "gc-start":
+			lo = m.At
+		case "gc-end":
+			if lo >= 0 {
+				wins = append(wins, window{lo, m.At})
+				lo = -1
+			}
+		}
+	}
+	if len(wins) == 0 {
+		t.Fatal("no gc windows marked")
+	}
+	// Epochs wholly inside a GC window must contain only service-thread
+	// activity (allow sub-microsecond skew at the edges).
+	const skew = 2 * units.Microsecond
+	for _, ep := range r.k.Recorder().Epochs() {
+		for _, w := range wins {
+			if ep.Start >= w.lo+skew && ep.End <= w.hi-skew {
+				for _, sl := range ep.Slices {
+					if sl.Class == kernel.ClassApp && sl.Delta.Instrs > 0 {
+						t.Fatalf("app thread %d executed %d instructions during STW window [%v,%v]",
+							sl.TID, sl.Delta.Instrs, w.lo, w.hi)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestGCPausesDisjointAndOrdered(t *testing.T) {
+	r := newRig(smallConfig())
+	r.k.Spawn("app", kernel.ClassApp, -1, func(e *kernel.Env) {
+		tl := &TLAB{}
+		for i := 0; i < 600; i++ {
+			r.j.Alloc(e, tl, 2048)
+			r.j.Safepoint(e)
+		}
+	})
+	r.k.Run()
+	pauses := r.j.Stats().Pauses
+	for i := 1; i < len(pauses); i++ {
+		if pauses[i].Start < pauses[i-1].End {
+			t.Fatalf("pauses overlap: %+v then %+v", pauses[i-1], pauses[i])
+		}
+	}
+	for _, p := range pauses {
+		if p.End <= p.Start {
+			t.Fatalf("empty pause %+v", p)
+		}
+	}
+}
+
+func TestMajorGCCompactsMature(t *testing.T) {
+	cfg := smallConfig()
+	cfg.MatureBytes = 128 << 10 // tiny: force a major collection
+	cfg.SurvivalRate = 0.5
+	r := newRig(cfg)
+	r.k.Spawn("app", kernel.ClassApp, -1, func(e *kernel.Env) {
+		tl := &TLAB{}
+		for i := 0; i < 1500; i++ {
+			r.j.Alloc(e, tl, 1024)
+			r.j.Safepoint(e)
+		}
+	})
+	if _, err := r.k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if r.j.Stats().MajorGCs == 0 {
+		t.Error("mature overflow never triggered a major GC")
+	}
+}
+
+func TestCopiedBytesAccounted(t *testing.T) {
+	r := newRig(smallConfig())
+	r.k.Spawn("app", kernel.ClassApp, -1, func(e *kernel.Env) {
+		tl := &TLAB{}
+		for i := 0; i < 600; i++ {
+			r.j.Alloc(e, tl, 1024)
+			r.j.Safepoint(e)
+		}
+	})
+	r.k.Run()
+	st := r.j.Stats()
+	if st.MinorGCs == 0 {
+		t.Fatal("no GCs")
+	}
+	if st.CopiedBytes <= 0 {
+		t.Error("no survivor bytes copied")
+	}
+	// Copied ~= survival x nursery per minor GC (worker shares truncate).
+	want := float64(st.MinorGCs) * smallConfig().SurvivalRate * float64(smallConfig().NurseryBytes)
+	if got := float64(st.CopiedBytes); got < 0.5*want || got > 1.5*want {
+		t.Errorf("copied %v, want ~%v", got, want)
+	}
+}
+
+func TestNurseryRecycledInCaches(t *testing.T) {
+	// After a GC, re-allocating the nursery must miss the caches (the
+	// recycle invalidates stale lines) — otherwise zero-init bursts would
+	// spuriously hit.
+	r := newRig(smallConfig())
+	var dramStoresFirst, dramStoresSecond uint64
+	r.k.Spawn("app", kernel.ClassApp, -1, func(e *kernel.Env) {
+		tl := &TLAB{}
+		r.j.Alloc(e, tl, 1024)
+		dramStoresFirst = e.Counters().StoresDRAM
+		// Churn through the nursery to force one GC, then allocate again.
+		for i := 0; i < 300; i++ {
+			r.j.Alloc(e, tl, 1024)
+			r.j.Safepoint(e)
+		}
+		before := e.Counters().StoresDRAM
+		r.j.Alloc(e, tl, int64(smallConfig().TLABBytes))
+		dramStoresSecond = e.Counters().StoresDRAM - before
+	})
+	r.k.Run()
+	if r.j.Stats().MinorGCs == 0 {
+		t.Fatal("no GC happened")
+	}
+	if dramStoresFirst == 0 {
+		t.Error("first zero-init burst did not go to DRAM")
+	}
+	if dramStoresSecond == 0 {
+		t.Error("post-GC zero-init burst hit in caches: nursery lines were not invalidated")
+	}
+}
+
+func TestJITRunsAndExits(t *testing.T) {
+	cfg := smallConfig()
+	cfg.JITWorkInstrs = 300_000
+	r := newRig(cfg)
+	r.k.Spawn("app", kernel.ClassApp, -1, func(e *kernel.Env) {
+		e.Compute(&cpu.Block{Instrs: 500_000, IPC: 2})
+	})
+	if _, err := r.k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	jit := r.k.Threads()[r.threadIdx(t, "jit")]
+	if jit.Counters().Instrs != 300_000 {
+		t.Errorf("JIT executed %d instructions, want 300000", jit.Counters().Instrs)
+	}
+	if !jit.Exited() {
+		t.Error("JIT thread did not exit")
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.GCThreads = 0
+	r := newRigSafe(cfg)
+	if r != nil {
+		t.Error("zero GC threads accepted")
+	}
+}
+
+func newRigSafe(cfg Config) (r *rig) {
+	defer func() { recover() }()
+	return newRig(cfg)
+}
+
+func TestSemispacePolicyCollectsWholeHeap(t *testing.T) {
+	run := func(policy Policy) Stats {
+		cfg := smallConfig()
+		cfg.Policy = policy
+		r := newRig(cfg)
+		r.k.Spawn("app", kernel.ClassApp, -1, func(e *kernel.Env) {
+			tl := &TLAB{}
+			for i := 0; i < 900; i++ {
+				r.j.Alloc(e, tl, 1024)
+				r.j.Safepoint(e)
+			}
+		})
+		if _, err := r.k.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return r.j.Stats()
+	}
+	gen := run(GenerationalCopying)
+	semi := run(FullHeapSemispace)
+	if semi.MajorGCs == 0 || semi.MinorGCs != 0 {
+		t.Errorf("semispace collections: %d minor, %d major (want all major)",
+			semi.MinorGCs, semi.MajorGCs)
+	}
+	if gen.MajorGCs != 0 {
+		t.Errorf("generational run did a major GC with an empty mature space")
+	}
+	if semi.GCTime <= gen.GCTime {
+		t.Errorf("semispace GC time %v not larger than generational %v", semi.GCTime, gen.GCTime)
+	}
+}
+
+func TestPolicyString(t *testing.T) {
+	if GenerationalCopying.String() != "generational" || FullHeapSemispace.String() != "semispace" || Policy(9).String() != "?" {
+		t.Error("policy strings wrong")
+	}
+}

@@ -1,0 +1,281 @@
+package kernel
+
+import (
+	"depburst/internal/cpu"
+	"depburst/internal/units"
+)
+
+// syscallCycles approximates kernel entry/exit overhead for futex calls;
+// lockCycles approximates an uncontended user-space atomic lock operation.
+// Both are CPU work, so they scale with the core's frequency.
+const (
+	syscallCycles = 300
+	lockCycles    = 25
+)
+
+// Env is a thread's window into the simulation. Every method executes
+// atomically with respect to other threads: the kernel runs exactly one
+// thread at a time, and a thread only cedes control where an Env method
+// yields.
+type Env struct {
+	k *Kernel
+	t *Thread
+}
+
+// Now returns the thread's local simulated time.
+func (e *Env) Now() units.Time { return e.t.now }
+
+// ID returns the current thread's identifier.
+func (e *Env) ID() ThreadID { return e.t.id }
+
+// CoreID returns the core the thread currently runs on.
+func (e *Env) CoreID() int { return e.t.core }
+
+// Counters gives the thread's own performance counters (read-only use).
+func (e *Env) Counters() cpu.Counters { return e.t.ctr }
+
+// Kernel returns the owning kernel, for spawning helper threads.
+func (e *Env) Kernel() *Kernel { return e.k }
+
+// cost advances the thread's local time by n cycles at its core's current
+// frequency.
+func (e *Env) cost(cycles int64) {
+	t := e.t
+	t.now += e.k.cores[t.core].Clock().Freq().CyclesToTime(cycles)
+}
+
+// yield hands control back to the kernel and blocks until rescheduled.
+func (t *Thread) yield(kind yieldKind) {
+	t.out <- kind
+	<-t.resume
+	if t.killed {
+		panic(killSignal{})
+	}
+}
+
+// Compute simulates a block of instructions on the thread's current core,
+// advancing the thread's local time.
+func (e *Env) Compute(b *cpu.Block) {
+	t := e.t
+	if e.k.cfg.ValidateBlocks {
+		if err := b.Validate(); err != nil {
+			panic("kernel: " + t.name + ": " + err.Error())
+		}
+	}
+	t.now = e.k.cores[t.core].Run(t.now, b, &t.ctr)
+	t.yield(yieldOp)
+}
+
+// Advance moves the thread's local time forward by d without simulating
+// instructions (pure think/IO time; it scales with nothing).
+func (e *Env) Advance(d units.Time) {
+	e.t.now += d
+	e.t.yield(yieldOp)
+}
+
+// park puts the calling thread to sleep on f. The caller must have
+// established the sleep condition in the same atomic step.
+func (e *Env) park(f *Futex) {
+	t := e.t
+	e.cost(syscallCycles)
+	f.waiters = append(f.waiters, t)
+	t.state = stateSleeping
+	t.wakeGen++ // invalidate any stale park timers
+	t.yield(yieldBlocked)
+}
+
+// ParkIf atomically evaluates cond and, when true, sleeps on f until some
+// thread wakes it. It returns whether it slept.
+func (e *Env) ParkIf(f *Futex, cond func() bool) bool {
+	if cond != nil && !cond() {
+		return false
+	}
+	e.park(f)
+	return true
+}
+
+// ParkTimeout sleeps on f until woken or until d elapses (FUTEX_WAIT with
+// a timeout). It returns true if woken by another thread, false on
+// timeout. cond follows ParkIf semantics; if it returns false the call
+// returns true immediately (the condition was already satisfied).
+func (e *Env) ParkTimeout(f *Futex, cond func() bool, d units.Time) bool {
+	if cond != nil && !cond() {
+		return true
+	}
+	t := e.t
+	k := e.k
+	e.cost(syscallCycles)
+	f.waiters = append(f.waiters, t)
+	t.state = stateSleeping
+	t.wakeGen++ // fresh generation for this timed sleep
+	gen := t.wakeGen
+	k.eng.Schedule(t.now+d, func(now units.Time) {
+		// Fire only if the thread is still asleep from THIS park (the
+		// generation guards against a stale timer hitting a later sleep).
+		if t.state != stateSleeping || t.wakeGen != gen {
+			return
+		}
+		f.remove(t)
+		t.timedOut = true
+		t.state = stateRunnable
+		k.runq = append(k.runq, t)
+		k.dispatchAll(now)
+	})
+	t.timedOut = false
+	t.yield(yieldBlocked)
+	return !t.timedOut
+}
+
+// Requeue wakes up to wake threads sleeping on from and moves up to move
+// of the remaining waiters onto to without waking them — FUTEX_REQUEUE,
+// the primitive glibc uses to broadcast a condition variable without a
+// thundering herd. It returns (woken, moved).
+func (e *Env) Requeue(from, to *Futex, wake, move int) (int, int) {
+	t := e.t
+	e.cost(syscallCycles)
+	woken := e.k.wake(from, wake, t.now)
+	moved := 0
+	for moved < move && len(from.waiters) > 0 {
+		w := from.waiters[0]
+		from.waiters = from.waiters[1:]
+		to.waiters = append(to.waiters, w)
+		moved++
+	}
+	t.yield(yieldOp)
+	return woken, moved
+}
+
+// Wake makes up to n threads sleeping on f runnable and returns how many
+// were woken (the futex_wake system call).
+func (e *Env) Wake(f *Futex, n int) int {
+	t := e.t
+	e.cost(syscallCycles)
+	woken := e.k.wake(f, n, t.now)
+	t.yield(yieldOp)
+	return woken
+}
+
+// wake moves up to n waiters off f's queue; at is the waker's local time.
+func (k *Kernel) wake(f *Futex, n int, at units.Time) int {
+	woken := 0
+	for woken < n && len(f.waiters) > 0 {
+		w := f.waiters[0]
+		f.waiters = f.waiters[1:]
+		k.makeRunnable(w, at)
+		woken++
+	}
+	return woken
+}
+
+// Sleep parks the thread for d of simulated time.
+func (e *Env) Sleep(d units.Time) {
+	t := e.t
+	k := e.k
+	wake := t.now + d
+	t.state = stateSleeping
+	k.eng.Schedule(wake, func(now units.Time) {
+		// The thread can only be woken by this timer (it is on no futex
+		// queue), but it may have been force-killed meanwhile.
+		if t.state == stateSleeping {
+			t.state = stateRunnable
+			k.runq = append(k.runq, t)
+			k.dispatchAll(now)
+		}
+	})
+	t.yield(yieldBlocked)
+}
+
+// Lock acquires m, sleeping via futex when contended. The uncontended path
+// is a user-space atomic: no kernel interaction, no epoch boundary — just
+// like real futex-based locks (paper §III-B).
+func (e *Env) Lock(m *Mutex) {
+	t := e.t
+	e.cost(lockCycles)
+	for m.locked {
+		m.Contentions++
+		e.park(&m.fu)
+	}
+	m.locked = true
+	m.owner = t.id
+	m.Acquisitions++
+}
+
+// TryLock acquires m if free, returning whether it succeeded.
+func (e *Env) TryLock(m *Mutex) bool {
+	e.cost(lockCycles)
+	if m.locked {
+		return false
+	}
+	m.locked = true
+	m.owner = e.t.id
+	m.Acquisitions++
+	return true
+}
+
+// Unlock releases m, waking one contended waiter if present.
+func (e *Env) Unlock(m *Mutex) {
+	t := e.t
+	if !m.locked || m.owner != t.id {
+		panic("kernel: unlock of mutex not held by caller")
+	}
+	e.cost(lockCycles)
+	m.locked = false
+	m.owner = NoThread
+	if len(m.fu.waiters) > 0 {
+		e.cost(syscallCycles)
+		e.k.wake(&m.fu, 1, t.now)
+		t.yield(yieldOp)
+	}
+}
+
+// BarrierWait blocks until all parties have arrived, then releases them.
+func (e *Env) BarrierWait(b *Barrier) {
+	t := e.t
+	e.cost(lockCycles)
+	b.arrived++
+	if b.arrived == b.parties {
+		b.arrived = 0
+		b.gen++
+		e.cost(syscallCycles)
+		e.k.wake(&b.fu, len(b.fu.waiters), t.now)
+		t.yield(yieldOp)
+		return
+	}
+	gen := b.gen
+	for gen == b.gen {
+		e.park(&b.fu)
+	}
+}
+
+// CondWait atomically releases m, sleeps on c, and reacquires m when woken.
+func (e *Env) CondWait(c *Cond, m *Mutex) {
+	t := e.t
+	if !m.locked || m.owner != t.id {
+		panic("kernel: CondWait without holding the mutex")
+	}
+	// Enqueue on the condition, release the mutex, and hand it to a
+	// waiter — all in one atomic step, then sleep.
+	m.locked = false
+	m.owner = NoThread
+	if len(m.fu.waiters) > 0 {
+		e.k.wake(&m.fu, 1, t.now)
+	}
+	e.park(&c.fu)
+	e.Lock(m)
+}
+
+// CondSignal wakes one waiter on c.
+func (e *Env) CondSignal(c *Cond) { e.Wake(&c.fu, 1) }
+
+// CondBroadcast wakes every waiter on c. All woken threads then contend
+// for the mutex inside CondWait (a thundering herd); see
+// CondBroadcastRequeue for the glibc-style alternative.
+func (e *Env) CondBroadcast(c *Cond) { e.Wake(&c.fu, len(c.fu.waiters)) }
+
+// CondBroadcastRequeue wakes one waiter and requeues the rest directly
+// onto m's wait queue (FUTEX_REQUEUE) — glibc's broadcast strategy, which
+// avoids waking every thread only to have them fight for the mutex. The
+// requeued threads wake one at a time as the mutex is handed over.
+func (e *Env) CondBroadcastRequeue(c *Cond, m *Mutex) {
+	e.Requeue(&c.fu, &m.fu, 1, len(c.fu.waiters))
+}

@@ -1,0 +1,171 @@
+package kernel
+
+import (
+	"testing"
+
+	"depburst/internal/units"
+)
+
+func TestAdvance(t *testing.T) {
+	k := testKernel(1)
+	var end units.Time
+	k.Spawn("t", ClassApp, -1, func(e *Env) {
+		e.Advance(5 * units.Microsecond)
+		end = e.Now()
+	})
+	if _, err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if end != 5*units.Microsecond {
+		t.Errorf("Advance moved to %v", end)
+	}
+	// Advance is pure wall time: no instructions, no active scaling
+	// bookkeeping beyond Active.
+	ctr := k.Threads()[0].Counters()
+	if ctr.Instrs != 0 {
+		t.Errorf("Advance executed %d instructions", ctr.Instrs)
+	}
+	if ctr.Active != 5*units.Microsecond {
+		t.Errorf("Active = %v", ctr.Active)
+	}
+}
+
+func TestTryLock(t *testing.T) {
+	k := testKernel(1)
+	var mu Mutex
+	k.Spawn("t", ClassApp, -1, func(e *Env) {
+		if !e.TryLock(&mu) {
+			t.Error("TryLock on a free mutex failed")
+		}
+		if e.TryLock(&mu) {
+			t.Error("TryLock on a held mutex succeeded")
+		}
+		e.Unlock(&mu)
+		if mu.Locked() {
+			t.Error("mutex still locked after unlock")
+		}
+	})
+	if _, err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMutexOwner(t *testing.T) {
+	k := testKernel(1)
+	var mu Mutex
+	if mu.Owner() != NoThread {
+		t.Error("free mutex has an owner")
+	}
+	k.Spawn("t", ClassApp, -1, func(e *Env) {
+		e.Lock(&mu)
+		if mu.Owner() != e.ID() {
+			t.Errorf("owner %v, want %v", mu.Owner(), e.ID())
+		}
+		e.Unlock(&mu)
+	})
+	k.Run()
+}
+
+func TestWakeOnEmptyFutex(t *testing.T) {
+	k := testKernel(1)
+	var fu Futex
+	k.Spawn("t", ClassApp, -1, func(e *Env) {
+		if woken := e.Wake(&fu, 5); woken != 0 {
+			t.Errorf("woke %d threads on an empty futex", woken)
+		}
+	})
+	if _, err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRequeueEmptyQueues(t *testing.T) {
+	k := testKernel(1)
+	var a, b Futex
+	k.Spawn("t", ClassApp, -1, func(e *Env) {
+		woken, moved := e.Requeue(&a, &b, 1, 5)
+		if woken != 0 || moved != 0 {
+			t.Errorf("requeue on empty queues: %d/%d", woken, moved)
+		}
+	})
+	if _, err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCondBroadcastWakesAll(t *testing.T) {
+	k := testKernel(4)
+	var mu Mutex
+	var cond Cond
+	ready := false
+	passed := 0
+	for i := 0; i < 3; i++ {
+		k.Spawn("w", ClassApp, -1, func(e *Env) {
+			e.Lock(&mu)
+			for !ready {
+				e.CondWait(&cond, &mu)
+			}
+			passed++
+			e.Unlock(&mu)
+		})
+	}
+	k.Spawn("b", ClassApp, -1, func(e *Env) {
+		e.Compute(block(100_000))
+		e.Lock(&mu)
+		ready = true
+		e.CondBroadcast(&cond)
+		e.Unlock(&mu)
+	})
+	if _, err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if passed != 3 {
+		t.Errorf("%d waiters passed", passed)
+	}
+}
+
+func TestPreemptionCounts(t *testing.T) {
+	// Two CPU-hungry threads on one core: preempt boundaries must appear
+	// and both threads accumulate roughly equal active time.
+	k := testKernel(1)
+	for i := 0; i < 2; i++ {
+		k.Spawn("w", ClassApp, 0, func(e *Env) {
+			for j := 0; j < 40; j++ {
+				e.Compute(block(50_000))
+			}
+		})
+	}
+	if _, err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	preempts := 0
+	for _, ep := range k.Recorder().Epochs() {
+		if ep.EndKind == BoundaryPreempt {
+			preempts++
+		}
+	}
+	if preempts == 0 {
+		t.Error("no preemptions with two threads on one core")
+	}
+	a := k.Threads()[0].Counters().Active
+	b := k.Threads()[1].Counters().Active
+	ratio := float64(a) / float64(b)
+	if ratio < 0.8 || ratio > 1.25 {
+		t.Errorf("unfair sharing: active %v vs %v", a, b)
+	}
+}
+
+func TestSpawnGroupTracked(t *testing.T) {
+	k := testKernel(1)
+	th := k.SpawnGroup("g", ClassApp, 3, -1, func(e *Env) {})
+	if th.Group() != 3 {
+		t.Errorf("group %d", th.Group())
+	}
+	if !k.RunningOrRunnableGroup(ClassApp, 3) {
+		t.Error("group-3 thread invisible to group query")
+	}
+	if k.RunningOrRunnableGroup(ClassApp, 4) {
+		t.Error("phantom group-4 thread")
+	}
+	k.Run()
+}

@@ -1,0 +1,145 @@
+package kernel
+
+import (
+	"depburst/internal/cpu"
+	"depburst/internal/units"
+)
+
+// BoundaryKind says which scheduling event opened or closed an epoch.
+type BoundaryKind int
+
+// Boundary kinds. Sleep, Exit and Preempt take a thread off a core;
+// Spawn and Wake put one on.
+const (
+	BoundarySpawn BoundaryKind = iota
+	BoundarySleep
+	BoundaryWake
+	BoundaryPreempt
+	BoundaryExit
+)
+
+func (b BoundaryKind) String() string {
+	switch b {
+	case BoundarySpawn:
+		return "spawn"
+	case BoundarySleep:
+		return "sleep"
+	case BoundaryWake:
+		return "wake"
+	case BoundaryPreempt:
+		return "preempt"
+	case BoundaryExit:
+		return "exit"
+	default:
+		return "?"
+	}
+}
+
+// ThreadSlice is one thread's share of a synchronization epoch: the
+// performance-counter deltas it accumulated between the epoch's boundaries.
+type ThreadSlice struct {
+	TID   ThreadID
+	Class Class
+	Delta cpu.Counters
+}
+
+// Epoch is the execution between two consecutive scheduling events, the
+// unit over which DEP predicts (paper §III-B). Threads listed in Slices
+// were active (scheduled on a core) at some point during the epoch.
+type Epoch struct {
+	Start, End units.Time
+	// StallTID is the thread whose going-to-sleep closed this epoch, or
+	// NoThread when the boundary was a wake/spawn. Algorithm 1 resets
+	// that thread's delta counter.
+	StallTID ThreadID
+	EndKind  BoundaryKind
+	Slices   []ThreadSlice
+}
+
+// Duration returns the epoch's measured length.
+func (ep *Epoch) Duration() units.Time { return ep.End - ep.Start }
+
+// Mark is an out-of-band annotation in the epoch stream; the JVM marks
+// garbage-collection phase transitions for the COOP predictor.
+type Mark struct {
+	At    units.Time
+	Label string
+}
+
+// Recorder observes every scheduling boundary and slices each thread's
+// counters into epochs. This is the software side of the paper's
+// kernel-module-based epoch detection.
+type Recorder struct {
+	epochs []Epoch
+	marks  []Mark
+	last   units.Time
+	snaps  []cpu.Counters // indexed by ThreadID
+}
+
+// NewRecorder returns an empty recorder starting at time zero.
+func NewRecorder() *Recorder { return &Recorder{} }
+
+// Boundary closes the epoch ending at now. threads is the kernel's full
+// thread table; per-thread deltas are taken against the previous boundary's
+// snapshots.
+func (r *Recorder) Boundary(now units.Time, kind BoundaryKind, tid ThreadID, threads []*Thread) {
+	// Boundary timestamps mix thread-local clocks (which run up to one
+	// block ahead of the engine) with engine time, so a boundary can
+	// arrive with a slightly older timestamp than the previous one.
+	// Clamp: the epoch stream stays monotone and the work lands in a
+	// zero-length epoch at the same instant.
+	if now < r.last {
+		now = r.last
+	}
+	for len(r.snaps) < len(threads) {
+		r.snaps = append(r.snaps, cpu.Counters{})
+	}
+	var slices []ThreadSlice
+	for _, t := range threads {
+		delta := t.ctr.Sub(r.snaps[t.id])
+		if delta == (cpu.Counters{}) {
+			continue
+		}
+		r.snaps[t.id] = t.ctr
+		slices = append(slices, ThreadSlice{TID: t.id, Class: t.class, Delta: delta})
+	}
+
+	stall := NoThread
+	switch kind {
+	case BoundarySleep, BoundaryPreempt, BoundaryExit:
+		stall = tid
+	}
+
+	// Coalesce a boundary that adds nothing: same instant, no new work.
+	if now == r.last && len(slices) == 0 && len(r.epochs) > 0 {
+		last := &r.epochs[len(r.epochs)-1]
+		if stall != NoThread && last.End == now {
+			last.StallTID = stall
+			last.EndKind = kind
+		}
+		return
+	}
+
+	r.epochs = append(r.epochs, Epoch{
+		Start:    r.last,
+		End:      now,
+		StallTID: stall,
+		EndKind:  kind,
+		Slices:   slices,
+	})
+	r.last = now
+}
+
+// Mark records a labelled instant (e.g. "gc-start", "gc-end").
+func (r *Recorder) Mark(now units.Time, label string) {
+	r.marks = append(r.marks, Mark{At: now, Label: label})
+}
+
+// Epochs returns the recorded epochs in time order.
+func (r *Recorder) Epochs() []Epoch { return r.epochs }
+
+// Marks returns the recorded annotations in time order.
+func (r *Recorder) Marks() []Mark { return r.marks }
+
+// End returns the time of the last recorded boundary.
+func (r *Recorder) End() units.Time { return r.last }

@@ -1,0 +1,148 @@
+package kernel
+
+import (
+	"testing"
+
+	"depburst/internal/cpu"
+	"depburst/internal/units"
+)
+
+// runContended drives a small contended workload and returns the kernel.
+func runContended(t *testing.T, threads, cores int) *Kernel {
+	t.Helper()
+	k := testKernel(cores)
+	var mu Mutex
+	b := NewBarrier(threads)
+	for i := 0; i < threads; i++ {
+		k.Spawn("w", ClassApp, -1, func(e *Env) {
+			for j := 0; j < 8; j++ {
+				e.Compute(block(4_000))
+				e.Lock(&mu)
+				e.Compute(block(2_000))
+				e.Unlock(&mu)
+			}
+			e.BarrierWait(b)
+		})
+	}
+	if _, err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	return k
+}
+
+func TestEpochsContiguous(t *testing.T) {
+	k := runContended(t, 3, 2)
+	eps := k.Recorder().Epochs()
+	if len(eps) == 0 {
+		t.Fatal("no epochs recorded")
+	}
+	prev := units.Time(0)
+	for i, ep := range eps {
+		if ep.Start != prev {
+			t.Fatalf("epoch %d starts at %v, previous ended at %v", i, ep.Start, prev)
+		}
+		if ep.End < ep.Start {
+			t.Fatalf("epoch %d ends before it starts", i)
+		}
+		prev = ep.End
+	}
+	if got := k.Recorder().End(); got != prev {
+		t.Errorf("recorder end %v, last epoch end %v", got, prev)
+	}
+}
+
+func TestEpochCounterConservation(t *testing.T) {
+	// The sum of all slice deltas must equal the threads' final counters:
+	// epoch slicing neither loses nor duplicates work.
+	k := runContended(t, 4, 2)
+	var sliced cpu.Counters
+	for _, ep := range k.Recorder().Epochs() {
+		for _, sl := range ep.Slices {
+			sliced.Add(sl.Delta)
+		}
+	}
+	var total cpu.Counters
+	for _, th := range k.Threads() {
+		total.Add(th.Counters())
+	}
+	if sliced != total {
+		t.Errorf("slices sum %+v\n != thread totals %+v", sliced, total)
+	}
+}
+
+func TestEpochActiveBounded(t *testing.T) {
+	// Within an epoch, a thread's active time is bounded by the epoch's
+	// duration plus one in-flight operation of skew (a block whose local
+	// time straddles the boundary charges into the epoch it started in).
+	// The workload's blocks are <= 4000 instructions = 2 µs at 1 GHz.
+	const skew = 3 * units.Microsecond
+	k := runContended(t, 4, 2)
+	for i, ep := range k.Recorder().Epochs() {
+		dur := ep.Duration()
+		var sum units.Time
+		for _, sl := range ep.Slices {
+			if sl.Delta.Active > dur+skew {
+				t.Fatalf("epoch %d: slice active %v exceeds duration %v + skew", i, sl.Delta.Active, dur)
+			}
+			sum += sl.Delta.Active
+		}
+		if sum > 2*(dur+skew)+2*skew {
+			t.Fatalf("epoch %d: total active %v for duration %v on 2 cores", i, sum, dur)
+		}
+	}
+}
+
+func TestStallTIDOnSleep(t *testing.T) {
+	k := runContended(t, 3, 1) // single core: plenty of sleeps/preempts
+	found := false
+	for _, ep := range k.Recorder().Epochs() {
+		switch ep.EndKind {
+		case BoundarySleep, BoundaryPreempt, BoundaryExit:
+			if ep.StallTID == NoThread {
+				t.Errorf("%v-bounded epoch has no stall TID", ep.EndKind)
+			}
+			found = true
+		case BoundaryWake, BoundarySpawn:
+			if ep.StallTID != NoThread {
+				t.Errorf("%v-bounded epoch has stall TID %d", ep.EndKind, ep.StallTID)
+			}
+		}
+	}
+	if !found {
+		t.Error("no sleep-bounded epochs in a contended run")
+	}
+}
+
+func TestMarks(t *testing.T) {
+	r := NewRecorder()
+	r.Mark(10, "gc-start")
+	r.Mark(20, "gc-end")
+	marks := r.Marks()
+	if len(marks) != 2 || marks[0].Label != "gc-start" || marks[1].At != 20 {
+		t.Errorf("marks %+v", marks)
+	}
+}
+
+func TestBoundaryKindString(t *testing.T) {
+	kinds := map[BoundaryKind]string{
+		BoundarySpawn: "spawn", BoundarySleep: "sleep", BoundaryWake: "wake",
+		BoundaryPreempt: "preempt", BoundaryExit: "exit", BoundaryKind(42): "?",
+	}
+	for k, want := range kinds {
+		if k.String() != want {
+			t.Errorf("%d.String() = %q", k, k.String())
+		}
+	}
+}
+
+func TestThreadStateString(t *testing.T) {
+	states := map[threadState]string{
+		stateNew: "new", stateRunnable: "runnable", stateRunning: "running",
+		stateSleeping: "sleeping", stateExited: "exited", threadState(9): "?",
+	}
+	for s, want := range states {
+		if s.String() != want {
+			t.Errorf("state %d = %q", s, s.String())
+		}
+	}
+}

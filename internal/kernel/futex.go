@@ -1,0 +1,78 @@
+package kernel
+
+// Futex is a kernel wait queue, the analogue of a Linux futex word's
+// kernel-side state. User-level primitives (Mutex, Barrier, Cond) sleep and
+// wake through a Futex; each sleep and each wake-induced schedule-in marks
+// a synchronization-epoch boundary, exactly the events the paper's DEP
+// predictor intercepts.
+//
+// The zero value is ready to use.
+type Futex struct {
+	waiters []*Thread
+}
+
+// Waiters reports how many threads currently sleep on f.
+func (f *Futex) Waiters() int { return len(f.waiters) }
+
+// remove drops t from f's wait queue if present (timeout path).
+func (f *Futex) remove(t *Thread) {
+	for i, w := range f.waiters {
+		if w == t {
+			f.waiters = append(f.waiters[:i], f.waiters[i+1:]...)
+			return
+		}
+	}
+}
+
+// Mutex is a futex-based lock. The zero value is unlocked. Use through
+// Env.Lock/Env.Unlock.
+type Mutex struct {
+	fu     Futex
+	locked bool
+	owner  ThreadID
+
+	// Acquisitions counts successful lock operations; Contentions counts
+	// futex sleeps caused by contention.
+	Acquisitions uint64
+	Contentions  uint64
+}
+
+// Locked reports whether the mutex is currently held.
+func (m *Mutex) Locked() bool { return m.locked }
+
+// Owner returns the holder's thread ID, or NoThread.
+func (m *Mutex) Owner() ThreadID {
+	if !m.locked {
+		return NoThread
+	}
+	return m.owner
+}
+
+// Barrier blocks threads until a fixed number have arrived. Use through
+// Env.BarrierWait.
+type Barrier struct {
+	parties int
+	arrived int
+	gen     uint64
+	fu      Futex
+}
+
+// NewBarrier returns a barrier for n parties.
+func NewBarrier(n int) *Barrier {
+	if n <= 0 {
+		panic("kernel: barrier needs at least one party")
+	}
+	return &Barrier{parties: n}
+}
+
+// Parties returns the number of threads the barrier waits for.
+func (b *Barrier) Parties() int { return b.parties }
+
+// Cond is a futex-based condition variable. The zero value is ready to
+// use. Use through Env.CondWait/CondSignal/CondBroadcast.
+type Cond struct {
+	fu Futex
+}
+
+// Waiters reports how many threads are blocked on the condition.
+func (c *Cond) Waiters() int { return c.fu.Waiters() }

@@ -1,0 +1,150 @@
+package kernel
+
+import (
+	"testing"
+
+	"depburst/internal/units"
+)
+
+func TestParkTimeoutExpires(t *testing.T) {
+	k := testKernel(1)
+	var fu Futex
+	var woken bool
+	var at units.Time
+	k.Spawn("w", ClassApp, -1, func(e *Env) {
+		woken = e.ParkTimeout(&fu, nil, 40*units.Microsecond)
+		at = e.Now()
+	})
+	if _, err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if woken {
+		t.Error("timeout reported as wake")
+	}
+	if at < 40*units.Microsecond || at > 45*units.Microsecond {
+		t.Errorf("woke at %v, want ~40us", at)
+	}
+	if fu.Waiters() != 0 {
+		t.Error("timed-out thread still on the wait queue")
+	}
+}
+
+func TestParkTimeoutWokenEarly(t *testing.T) {
+	k := testKernel(2)
+	var fu Futex
+	var woken bool
+	k.Spawn("sleeper", ClassApp, 0, func(e *Env) {
+		woken = e.ParkTimeout(&fu, nil, 10*units.Millisecond)
+	})
+	k.Spawn("waker", ClassApp, 1, func(e *Env) {
+		e.Compute(block(20_000))
+		e.Wake(&fu, 1)
+	})
+	if _, err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !woken {
+		t.Error("early wake reported as timeout")
+	}
+}
+
+func TestParkTimeoutConditionAlreadyTrue(t *testing.T) {
+	k := testKernel(1)
+	var fu Futex
+	k.Spawn("w", ClassApp, -1, func(e *Env) {
+		if !e.ParkTimeout(&fu, func() bool { return false }, units.Millisecond) {
+			t.Error("satisfied condition reported as timeout")
+		}
+		if e.Now() > 100*units.Microsecond {
+			t.Error("satisfied condition still slept")
+		}
+	})
+	if _, err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStaleTimerDoesNotWakeLaterSleep(t *testing.T) {
+	// A thread does a timed wait, is woken early, then sleeps again on a
+	// different futex. The stale timer from the first wait must not wake
+	// the second sleep.
+	k := testKernel(2)
+	var fu1, fu2 Futex
+	var secondWake units.Time
+	k.Spawn("sleeper", ClassApp, 0, func(e *Env) {
+		e.ParkTimeout(&fu1, nil, 50*units.Microsecond) // woken at ~10us
+		e.ParkIf(&fu2, nil)                            // must sleep until ~200us
+		secondWake = e.Now()
+	})
+	k.Spawn("waker", ClassApp, 1, func(e *Env) {
+		e.Compute(block(20_000)) // ~10us
+		e.Wake(&fu1, 1)
+		e.Compute(block(380_000)) // to ~200us
+		e.Wake(&fu2, 1)
+	})
+	if _, err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if secondWake < 150*units.Microsecond {
+		t.Errorf("second sleep woke at %v: the stale timer fired", secondWake)
+	}
+}
+
+func TestRequeueMovesWaiters(t *testing.T) {
+	k := testKernel(1)
+	var from, to Futex
+	for i := 0; i < 3; i++ {
+		k.Spawn("w", ClassApp, -1, func(e *Env) {
+			e.ParkIf(&from, nil)
+		})
+	}
+	k.Spawn("mover", ClassApp, -1, func(e *Env) {
+		e.Compute(block(100_000)) // let the waiters park
+		woken, moved := e.Requeue(&from, &to, 1, 10)
+		if woken != 1 || moved != 2 {
+			t.Errorf("requeue woke %d moved %d, want 1/2", woken, moved)
+		}
+		if from.Waiters() != 0 || to.Waiters() != 2 {
+			t.Errorf("queues after requeue: from=%d to=%d", from.Waiters(), to.Waiters())
+		}
+		e.Wake(&to, 2) // release the moved waiters so the run finishes
+	})
+	if _, err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCondBroadcastRequeueHandsOverSerially(t *testing.T) {
+	// Broadcast-with-requeue must wake exactly one waiter; the others
+	// acquire the mutex one at a time as it is handed over, and all
+	// eventually proceed.
+	k := testKernel(4)
+	var mu Mutex
+	var cond Cond
+	ready := false
+	passed := 0
+	for i := 0; i < 3; i++ {
+		k.Spawn("waiter", ClassApp, -1, func(e *Env) {
+			e.Lock(&mu)
+			for !ready {
+				e.CondWait(&cond, &mu)
+			}
+			passed++
+			e.Compute(block(5_000)) // hold the mutex briefly
+			e.Unlock(&mu)
+		})
+	}
+	k.Spawn("broadcaster", ClassApp, -1, func(e *Env) {
+		e.Compute(block(100_000)) // let the waiters block
+		e.Lock(&mu)
+		ready = true
+		e.CondBroadcastRequeue(&cond, &mu)
+		e.Unlock(&mu)
+	})
+	if _, err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if passed != 3 {
+		t.Errorf("%d waiters passed, want 3", passed)
+	}
+}

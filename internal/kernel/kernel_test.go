@@ -1,0 +1,432 @@
+package kernel
+
+import (
+	"testing"
+
+	"depburst/internal/cpu"
+	"depburst/internal/event"
+	"depburst/internal/mem"
+	"depburst/internal/units"
+)
+
+// testKernel builds a kernel over n cores at 1 GHz.
+func testKernel(n int) *Kernel {
+	eng := event.New()
+	hier := mem.NewHierarchy(mem.DefaultHierarchyConfig(n))
+	clock := units.NewClock(1000 * units.MHz)
+	cores := make([]*cpu.Core, n)
+	for i := range cores {
+		cores[i] = cpu.NewCore(i, cpu.DefaultConfig(), clock, hier)
+	}
+	return New(eng, cores, DefaultConfig())
+}
+
+func block(instrs int64) *cpu.Block {
+	return &cpu.Block{Instrs: instrs, IPC: 2.0}
+}
+
+func TestSpawnRunExit(t *testing.T) {
+	k := testKernel(2)
+	ran := false
+	k.Spawn("t", ClassApp, -1, func(e *Env) {
+		e.Compute(block(1000))
+		ran = true
+	})
+	end, err := k.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ran {
+		t.Error("program did not run")
+	}
+	if end <= 0 {
+		t.Errorf("end time %v", end)
+	}
+	if k.AppEndTime() != end {
+		t.Errorf("AppEndTime %v != end %v", k.AppEndTime(), end)
+	}
+	th := k.Threads()[0]
+	if !th.Exited() || th.EndTime() != end || th.SpawnTime() != 0 {
+		t.Errorf("thread state: exited=%v end=%v spawn=%v", th.Exited(), th.EndTime(), th.SpawnTime())
+	}
+	if th.Counters().Active <= 0 || th.Counters().Instrs != 1000 {
+		t.Errorf("counters %+v", th.Counters())
+	}
+}
+
+func TestParallelismAcrossCores(t *testing.T) {
+	// Two equal threads on two cores should finish in ~the time of one.
+	solo := testKernel(1)
+	solo.Spawn("a", ClassApp, -1, func(e *Env) { e.Compute(block(100_000)) })
+	soloEnd, _ := solo.Run()
+
+	duo := testKernel(2)
+	for i := 0; i < 2; i++ {
+		duo.Spawn("w", ClassApp, i, func(e *Env) { e.Compute(block(100_000)) })
+	}
+	duoEnd, _ := duo.Run()
+	if float64(duoEnd) > 1.1*float64(soloEnd) {
+		t.Errorf("2 threads on 2 cores took %v vs solo %v", duoEnd, soloEnd)
+	}
+}
+
+func TestTimesliceMultiplexing(t *testing.T) {
+	// Two threads on one core must interleave and both finish; total time
+	// about the sum of their work.
+	k := testKernel(1)
+	var ends []units.Time
+	for i := 0; i < 2; i++ {
+		k.Spawn("w", ClassApp, 0, func(e *Env) {
+			for j := 0; j < 20; j++ {
+				e.Compute(block(20_000)) // 10 µs per block > timeslice/10
+			}
+			ends = append(ends, e.Now())
+		})
+	}
+	end, err := k.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ends) != 2 {
+		t.Fatalf("not all threads finished")
+	}
+	// Interleaving: the first finisher must end well after half the run
+	// (they share the core), not after its own 200 µs of work alone.
+	if float64(ends[0]) < 0.7*float64(end) {
+		t.Errorf("first finisher at %v of %v: threads did not share the core", ends[0], end)
+	}
+}
+
+func TestMutexMutualExclusion(t *testing.T) {
+	k := testKernel(4)
+	var mu Mutex
+	type span struct{ lo, hi units.Time }
+	var spans []span
+	for i := 0; i < 4; i++ {
+		k.Spawn("w", ClassApp, -1, func(e *Env) {
+			for j := 0; j < 10; j++ {
+				e.Lock(&mu)
+				lo := e.Now()
+				e.Compute(block(5_000))
+				spans = append(spans, span{lo, e.Now()})
+				e.Unlock(&mu)
+			}
+		})
+	}
+	if _, err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(spans) != 40 {
+		t.Fatalf("%d critical sections, want 40", len(spans))
+	}
+	for i := 0; i < len(spans); i++ {
+		for j := i + 1; j < len(spans); j++ {
+			a, b := spans[i], spans[j]
+			if a.lo < b.hi && b.lo < a.hi {
+				t.Fatalf("critical sections overlap: %+v and %+v", a, b)
+			}
+		}
+	}
+	if mu.Acquisitions != 40 {
+		t.Errorf("acquisitions %d", mu.Acquisitions)
+	}
+	if mu.Contentions == 0 {
+		t.Error("no contention with 4 threads hammering one lock")
+	}
+}
+
+func TestContentionCreatesEpochs(t *testing.T) {
+	k := testKernel(2)
+	var mu Mutex
+	for i := 0; i < 2; i++ {
+		k.Spawn("w", ClassApp, i, func(e *Env) {
+			for j := 0; j < 5; j++ {
+				e.Lock(&mu)
+				e.Compute(block(10_000))
+				e.Unlock(&mu)
+			}
+		})
+	}
+	k.Run()
+	sleeps := 0
+	for _, ep := range k.Recorder().Epochs() {
+		if ep.EndKind == BoundarySleep && ep.StallTID != NoThread {
+			sleeps++
+		}
+	}
+	if sleeps == 0 {
+		t.Error("contended locking produced no sleep-bounded epochs")
+	}
+}
+
+func TestUncontendedLockNoEpochs(t *testing.T) {
+	k := testKernel(1)
+	var mu Mutex
+	k.Spawn("solo", ClassApp, -1, func(e *Env) {
+		for j := 0; j < 50; j++ {
+			e.Lock(&mu)
+			e.Compute(block(100))
+			e.Unlock(&mu)
+		}
+	})
+	k.Run()
+	// Only spawn and exit boundaries: 2 epochs.
+	if n := len(k.Recorder().Epochs()); n > 3 {
+		t.Errorf("uncontended locking produced %d epochs", n)
+	}
+	if mu.Contentions != 0 {
+		t.Errorf("contentions %d", mu.Contentions)
+	}
+}
+
+func TestUnlockNotOwnerPanics(t *testing.T) {
+	k := testKernel(1)
+	var mu Mutex
+	panicked := make(chan bool, 1)
+	k.Spawn("bad", ClassApp, -1, func(e *Env) {
+		defer func() {
+			panicked <- recover() != nil
+			panic(killSignal{}) // unwind the thread cleanly
+		}()
+		e.Unlock(&mu)
+	})
+	k.Run()
+	select {
+	case p := <-panicked:
+		if !p {
+			t.Error("unlock of unheld mutex did not panic")
+		}
+	default:
+		t.Error("program never ran")
+	}
+}
+
+func TestBarrierReleasesAll(t *testing.T) {
+	k := testKernel(4)
+	b := NewBarrier(4)
+	var after []units.Time
+	for i := 0; i < 4; i++ {
+		amount := int64(10_000 * (i + 1)) // staggered arrivals
+		k.Spawn("w", ClassApp, i, func(e *Env) {
+			e.Compute(block(amount))
+			e.BarrierWait(b)
+			after = append(after, e.Now())
+		})
+	}
+	if _, err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(after) != 4 {
+		t.Fatalf("%d threads passed the barrier", len(after))
+	}
+	// No one passes before the slowest arrives (~20 µs of work).
+	for _, at := range after {
+		if at < 20*units.Microsecond {
+			t.Errorf("thread passed barrier at %v, before the last arrival", at)
+		}
+	}
+	if b.Parties() != 4 {
+		t.Errorf("parties %d", b.Parties())
+	}
+}
+
+func TestBarrierReusableAcrossGenerations(t *testing.T) {
+	k := testKernel(2)
+	b := NewBarrier(2)
+	counts := make([]int, 2)
+	for i := 0; i < 2; i++ {
+		i := i
+		k.Spawn("w", ClassApp, i, func(e *Env) {
+			for r := 0; r < 10; r++ {
+				e.Compute(block(1000))
+				e.BarrierWait(b)
+				counts[i]++
+			}
+		})
+	}
+	if _, err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if counts[0] != 10 || counts[1] != 10 {
+		t.Errorf("rounds: %v", counts)
+	}
+}
+
+func TestCondProducerConsumer(t *testing.T) {
+	k := testKernel(2)
+	var mu Mutex
+	var notEmpty Cond
+	queue := 0
+	consumed := 0
+	k.Spawn("producer", ClassApp, 0, func(e *Env) {
+		for i := 0; i < 20; i++ {
+			e.Compute(block(2000))
+			e.Lock(&mu)
+			queue++
+			e.CondSignal(&notEmpty)
+			e.Unlock(&mu)
+		}
+	})
+	k.Spawn("consumer", ClassApp, 1, func(e *Env) {
+		for consumed < 20 {
+			e.Lock(&mu)
+			for queue == 0 {
+				e.CondWait(&notEmpty, &mu)
+			}
+			queue--
+			consumed++
+			e.Unlock(&mu)
+			e.Compute(block(500))
+		}
+	})
+	if _, err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if consumed != 20 || queue != 0 {
+		t.Errorf("consumed=%d queue=%d", consumed, queue)
+	}
+}
+
+func TestSleepDuration(t *testing.T) {
+	k := testKernel(1)
+	var woke units.Time
+	k.Spawn("sleeper", ClassApp, -1, func(e *Env) {
+		e.Sleep(50 * units.Microsecond)
+		woke = e.Now()
+	})
+	k.Run()
+	if woke < 50*units.Microsecond || woke > 55*units.Microsecond {
+		t.Errorf("woke at %v, want ~50us", woke)
+	}
+}
+
+func TestDeadlockDetected(t *testing.T) {
+	k := testKernel(1)
+	var fu Futex
+	k.Spawn("stuck", ClassApp, -1, func(e *Env) {
+		e.ParkIf(&fu, nil) // sleeps forever
+	})
+	_, err := k.Run()
+	if err == nil {
+		t.Fatal("deadlocked run returned no error")
+	}
+}
+
+func TestDaemonKilledAtShutdown(t *testing.T) {
+	k := testKernel(2)
+	var fu Futex
+	k.Spawn("daemon", ClassService, -1, func(e *Env) {
+		for {
+			e.ParkIf(&fu, nil)
+		}
+	})
+	k.Spawn("app", ClassApp, -1, func(e *Env) { e.Compute(block(1000)) })
+	_, err := k.Run()
+	if err != nil {
+		t.Fatalf("daemon blocked shutdown: %v", err)
+	}
+	for _, th := range k.Threads() {
+		if !th.Exited() {
+			t.Errorf("%v not exited after shutdown", th)
+		}
+	}
+}
+
+func TestWakeOrderFIFO(t *testing.T) {
+	k := testKernel(1)
+	var fu Futex
+	var order []ThreadID
+	for i := 0; i < 3; i++ {
+		k.Spawn("waiter", ClassApp, -1, func(e *Env) {
+			e.ParkIf(&fu, nil)
+			order = append(order, e.ID())
+		})
+	}
+	k.Spawn("waker", ClassApp, -1, func(e *Env) {
+		e.Compute(block(50_000)) // let the waiters park
+		for fu.Waiters() > 0 {
+			e.Wake(&fu, 1)
+		}
+	})
+	if _, err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(order); i++ {
+		if order[i] < order[i-1] {
+			t.Errorf("wake order %v not FIFO", order)
+		}
+	}
+}
+
+func TestAffinityPreferred(t *testing.T) {
+	k := testKernel(2)
+	cores := make([]int, 2)
+	for i := 0; i < 2; i++ {
+		i := i
+		k.Spawn("w", ClassApp, i, func(e *Env) {
+			e.Compute(block(1000))
+			cores[i] = e.CoreID()
+		})
+	}
+	k.Run()
+	if cores[0] != 0 || cores[1] != 1 {
+		t.Errorf("affinity ignored: %v", cores)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func() (units.Time, int) {
+		k := testKernel(2)
+		var mu Mutex
+		for i := 0; i < 3; i++ {
+			k.Spawn("w", ClassApp, -1, func(e *Env) {
+				for j := 0; j < 10; j++ {
+					e.Lock(&mu)
+					e.Compute(block(3_000))
+					e.Unlock(&mu)
+					e.Compute(block(7_000))
+				}
+			})
+		}
+		end, _ := k.Run()
+		return end, len(k.Recorder().Epochs())
+	}
+	e1, n1 := run()
+	e2, n2 := run()
+	if e1 != e2 || n1 != n2 {
+		t.Errorf("nondeterministic: (%v,%d) vs (%v,%d)", e1, n1, e2, n2)
+	}
+}
+
+func TestContextSwitchCostScalesWithFrequency(t *testing.T) {
+	run := func(f units.Freq) units.Time {
+		eng := event.New()
+		hier := mem.NewHierarchy(mem.DefaultHierarchyConfig(1))
+		clock := units.NewClock(f)
+		cores := []*cpu.Core{cpu.NewCore(0, cpu.DefaultConfig(), clock, hier)}
+		k := New(eng, cores, DefaultConfig())
+		var fu Futex
+		k.Spawn("a", ClassApp, 0, func(e *Env) {
+			for i := 0; i < 50; i++ {
+				e.ParkIf(&fu, func() bool { return fu.Waiters() == 0 })
+				e.Wake(&fu, 1)
+			}
+		})
+		k.Spawn("b", ClassApp, 0, func(e *Env) {
+			for i := 0; i < 50; i++ {
+				e.Wake(&fu, 1)
+				e.ParkIf(&fu, func() bool { return fu.Waiters() == 0 })
+			}
+		})
+		end, _ := k.Run()
+		return end
+	}
+	t1 := run(1000 * units.MHz)
+	t4 := run(4000 * units.MHz)
+	// Ping-pong is pure kernel overhead (syscalls + context switches),
+	// which is cycle-based: 4 GHz must be ~4x faster.
+	ratio := float64(t1) / float64(t4)
+	if ratio < 3 {
+		t.Errorf("kernel overhead did not scale with frequency: ratio %.2f", ratio)
+	}
+}

@@ -1,0 +1,147 @@
+// Package kernel simulates the operating-system layer: threads, a
+// core scheduler with affinity and timeslicing, futex-based sleeping and
+// waking, and the synchronisation-epoch recorder that the DEP predictor
+// consumes.
+//
+// Each simulated thread is a goroutine, but exactly one goroutine (either
+// the engine driver or a single thread) ever runs at a time: the kernel
+// resumes a thread, the thread performs one operation against its Env,
+// yields, and the kernel regains control. All kernel state is therefore
+// accessed without locks and every run is deterministic.
+package kernel
+
+import (
+	"fmt"
+
+	"depburst/internal/cpu"
+	"depburst/internal/units"
+)
+
+// ThreadID identifies a simulated thread.
+type ThreadID int
+
+// NoThread is the ThreadID used when no thread applies (e.g. an epoch that
+// was not closed by a sleep).
+const NoThread ThreadID = -1
+
+// Class distinguishes application threads from managed-runtime service
+// threads; the COOP predictor and the JVM's stop-the-world logic use it.
+type Class int
+
+// Thread classes.
+const (
+	ClassApp Class = iota
+	ClassService
+)
+
+// Program is the body of a simulated thread. It runs on its own goroutine
+// and interacts with the simulation only through the Env.
+type Program func(e *Env)
+
+type threadState int
+
+const (
+	stateNew threadState = iota
+	stateRunnable
+	stateRunning
+	stateSleeping
+	stateExited
+)
+
+func (s threadState) String() string {
+	switch s {
+	case stateNew:
+		return "new"
+	case stateRunnable:
+		return "runnable"
+	case stateRunning:
+		return "running"
+	case stateSleeping:
+		return "sleeping"
+	case stateExited:
+		return "exited"
+	default:
+		return "?"
+	}
+}
+
+type yieldKind int
+
+const (
+	yieldOp      yieldKind = iota // op complete, thread still running
+	yieldBlocked                  // thread parked on a futex
+	yieldExited                   // program returned
+)
+
+// Thread is one simulated OS thread.
+type Thread struct {
+	id      ThreadID
+	name    string
+	class   Class
+	group   int
+	program Program
+
+	ctr   cpu.Counters
+	state threadState
+
+	// affinity is the preferred core; -1 means any.
+	affinity int
+	core     int // core currently (or last) running on
+
+	now      units.Time // thread-local time while running
+	runStart units.Time // when the current scheduling-in happened
+	sliceEnd units.Time
+	spawnAt  units.Time
+	endAt    units.Time
+
+	resume chan struct{}
+	out    chan yieldKind
+	killed bool
+
+	// wakeGen invalidates stale park timers; timedOut reports whether the
+	// last ParkTimeout expired rather than being woken.
+	wakeGen  uint64
+	timedOut bool
+
+	// sleepHandle tracks a pending timed wakeup so Sleep can be cancelled.
+	waking bool // woken but not yet dispatched (runnable in queue)
+}
+
+// ID returns the thread's identifier.
+func (t *Thread) ID() ThreadID { return t.id }
+
+// Name returns the thread's debug name.
+func (t *Thread) Name() string { return t.name }
+
+// Class returns whether this is an application or service thread.
+func (t *Thread) Class() Class { return t.class }
+
+// Group returns the thread group (one per co-running runtime instance;
+// the default group is 0).
+func (t *Thread) Group() int { return t.group }
+
+// Counters returns a snapshot of the thread's performance counters.
+func (t *Thread) Counters() cpu.Counters { return t.ctr }
+
+// Exited reports whether the thread's program has returned.
+func (t *Thread) Exited() bool { return t.state == stateExited }
+
+// SpawnTime returns when the thread was created.
+func (t *Thread) SpawnTime() units.Time { return t.spawnAt }
+
+// EndTime returns when the thread exited (its local time at exit), or the
+// thread's current local time if it has not exited.
+func (t *Thread) EndTime() units.Time {
+	if t.state == stateExited {
+		return t.endAt
+	}
+	return t.now
+}
+
+func (t *Thread) String() string {
+	return fmt.Sprintf("thread %d (%s, %s)", t.id, t.name, t.state)
+}
+
+// killSignal is panicked through a thread goroutine when the kernel shuts
+// down daemon threads at the end of a run.
+type killSignal struct{}

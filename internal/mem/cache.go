@@ -1,0 +1,193 @@
+// Package mem models the memory hierarchy: set-associative write-back
+// caches (a private L2 per core and a shared L3) in front of a banked DRAM
+// with open-page row buffers and bandwidth/queueing effects.
+//
+// The hierarchy is the source of the "non-scaling" execution-time component
+// that DVFS predictors must separate out: its latencies are expressed in
+// wall-clock picoseconds and do not change with the core frequency.
+package mem
+
+// LineSize is the cache line size in bytes, shared by every level.
+const LineSize = 64
+
+// Addr is a physical byte address.
+type Addr uint64
+
+// Line returns the cache-line-aligned address containing a.
+func (a Addr) Line() Addr { return a &^ (LineSize - 1) }
+
+// CacheConfig describes one cache level.
+type CacheConfig struct {
+	// SizeBytes is the total capacity. Must be a multiple of
+	// LineSize*Ways.
+	SizeBytes int
+	// Ways is the set associativity.
+	Ways int
+}
+
+// Sets returns the number of sets implied by the configuration.
+func (c CacheConfig) Sets() int { return c.SizeBytes / (LineSize * c.Ways) }
+
+type cacheLine struct {
+	tag   uint64
+	valid bool
+	dirty bool
+	// lru is a per-set sequence number; higher = more recently used.
+	lru uint64
+}
+
+// Cache is a set-associative write-back, write-allocate cache with true LRU
+// replacement. It models tags only (no data), which is all timing needs.
+type Cache struct {
+	cfg      CacheConfig
+	sets     [][]cacheLine
+	setMask  uint64
+	lruClock uint64
+
+	// Stats
+	Hits       uint64
+	Misses     uint64
+	Evictions  uint64
+	Writebacks uint64
+}
+
+// NewCache builds a cache from cfg. It panics on a degenerate geometry
+// (non-power-of-two set count, or zero ways) because address hashing relies
+// on power-of-two sets.
+func NewCache(cfg CacheConfig) *Cache {
+	sets := cfg.Sets()
+	if cfg.Ways <= 0 || sets <= 0 || sets&(sets-1) != 0 {
+		panic("mem: invalid cache geometry")
+	}
+	c := &Cache{cfg: cfg, setMask: uint64(sets - 1)}
+	c.sets = make([][]cacheLine, sets)
+	backing := make([]cacheLine, sets*cfg.Ways)
+	for i := range c.sets {
+		c.sets[i], backing = backing[:cfg.Ways], backing[cfg.Ways:]
+	}
+	return c
+}
+
+// Config returns the cache geometry.
+func (c *Cache) Config() CacheConfig { return c.cfg }
+
+func (c *Cache) setIndex(a Addr) uint64 {
+	return (uint64(a) / LineSize) & c.setMask
+}
+
+func (c *Cache) tag(a Addr) uint64 {
+	return uint64(a) / LineSize / uint64(len(c.sets))
+}
+
+// AccessResult reports the outcome of a cache access.
+type AccessResult struct {
+	Hit bool
+	// WritebackAddr is the address of a dirty line evicted to make room;
+	// zero and WritebackValid=false when no dirty eviction occurred.
+	WritebackAddr  Addr
+	WritebackValid bool
+}
+
+// Access looks up addr, allocating the line on a miss (write-allocate).
+// write marks the line dirty. The returned result says whether it hit and
+// whether a dirty victim must be written back to the next level.
+func (c *Cache) Access(addr Addr, write bool) AccessResult {
+	set := c.sets[c.setIndex(addr)]
+	tag := c.tag(addr)
+	c.lruClock++
+
+	for i := range set {
+		if set[i].valid && set[i].tag == tag {
+			set[i].lru = c.lruClock
+			if write {
+				set[i].dirty = true
+			}
+			c.Hits++
+			return AccessResult{Hit: true}
+		}
+	}
+	c.Misses++
+
+	// Choose victim: an invalid way if any, else the least recently used.
+	victim := 0
+	for i := range set {
+		if !set[i].valid {
+			victim = i
+			goto fill
+		}
+		if set[i].lru < set[victim].lru {
+			victim = i
+		}
+	}
+fill:
+	var res AccessResult
+	if set[victim].valid {
+		c.Evictions++
+		if set[victim].dirty {
+			c.Writebacks++
+			res.WritebackValid = true
+			res.WritebackAddr = c.reconstruct(set[victim].tag, c.setIndex(addr))
+		}
+	}
+	set[victim] = cacheLine{tag: tag, valid: true, dirty: write, lru: c.lruClock}
+	return res
+}
+
+// Probe reports whether addr is present without touching LRU state or
+// statistics.
+func (c *Cache) Probe(addr Addr) bool {
+	set := c.sets[c.setIndex(addr)]
+	tag := c.tag(addr)
+	for i := range set {
+		if set[i].valid && set[i].tag == tag {
+			return true
+		}
+	}
+	return false
+}
+
+// Invalidate drops addr from the cache if present, returning whether the
+// dropped line was dirty.
+func (c *Cache) Invalidate(addr Addr) (present, dirty bool) {
+	set := c.sets[c.setIndex(addr)]
+	tag := c.tag(addr)
+	for i := range set {
+		if set[i].valid && set[i].tag == tag {
+			d := set[i].dirty
+			set[i] = cacheLine{}
+			return true, d
+		}
+	}
+	return false, false
+}
+
+// Flush invalidates the entire cache, returning the number of dirty lines
+// discarded.
+func (c *Cache) Flush() (dirty int) {
+	for _, set := range c.sets {
+		for i := range set {
+			if set[i].valid && set[i].dirty {
+				dirty++
+			}
+			set[i] = cacheLine{}
+		}
+	}
+	return dirty
+}
+
+func (c *Cache) reconstruct(tag, setIdx uint64) Addr {
+	return Addr((tag*uint64(len(c.sets)) + setIdx) * LineSize)
+}
+
+// Occupancy returns the number of valid lines, mostly for tests.
+func (c *Cache) Occupancy() int {
+	n := 0
+	for _, set := range c.sets {
+		for i := range set {
+			if set[i].valid {
+				n++
+			}
+		}
+	}
+	return n
+}

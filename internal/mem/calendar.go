@@ -1,0 +1,120 @@
+package mem
+
+import "depburst/internal/units"
+
+// calendar is a time-bucketed capacity reservation ledger for a resource
+// with unit service rate (a DRAM bank or the data bus). Each bucket of
+// width `width` can hold `width` of busy time.
+//
+// Unlike a simple "next free time" model, a calendar tolerates requests
+// arriving slightly out of time order, which happens because each core
+// simulates its current block ahead of the global event clock: a request
+// that arrives "in the past" reserves leftover capacity in past buckets
+// instead of queueing behind logically later work.
+type calendar struct {
+	width units.Time
+	busy  []units.Time
+	abs   []int64 // absolute bucket number currently occupying each slot
+}
+
+func newCalendar(width units.Time, buckets int) *calendar {
+	if width <= 0 || buckets <= 0 || buckets&(buckets-1) != 0 {
+		panic("mem: calendar needs positive width and power-of-two buckets")
+	}
+	c := &calendar{
+		width: width,
+		busy:  make([]units.Time, buckets),
+		abs:   make([]int64, buckets),
+	}
+	for i := range c.abs {
+		c.abs[i] = -1
+	}
+	return c
+}
+
+// slot maps absolute bucket b into the ring, lazily recycling stale
+// entries. It reports whether the bucket is usable (false when the slot is
+// held by a later bucket, i.e. the request is older than the ring horizon).
+func (c *calendar) slot(b int64) (int, bool) {
+	i := int(b & int64(len(c.busy)-1))
+	switch {
+	case c.abs[i] == b:
+		return i, true
+	case c.abs[i] < b:
+		c.abs[i] = b
+		c.busy[i] = 0
+		return i, true
+	default:
+		return i, false
+	}
+}
+
+// reserve books dur of capacity at the earliest time >= t and returns the
+// service start time. The booking spills into later buckets when the first
+// one cannot hold all of dur, modelling FIFO backpressure: under saturation
+// successive reservations start one service time apart.
+func (c *calendar) reserve(t units.Time, dur units.Time) units.Time {
+	if dur <= 0 {
+		return t
+	}
+	if t < 0 {
+		t = 0
+	}
+	b := int64(t / c.width)
+	// Find the first bucket with any free capacity.
+	var start units.Time
+	for {
+		i, ok := c.slot(b)
+		if !ok {
+			b++
+			continue
+		}
+		if c.busy[i] >= c.width {
+			b++
+			continue
+		}
+		start = units.Time(b)*c.width + c.busy[i]
+		if start < t {
+			// The bucket containing t has spare capacity; the
+			// request starts no earlier than its own arrival. The
+			// capacity before t stays available for requests that
+			// arrive with earlier timestamps (cross-core skew).
+			start = t
+		}
+		break
+	}
+	// Consume dur from bucket b onwards.
+	rem := dur
+	for rem > 0 {
+		i, ok := c.slot(b)
+		if !ok {
+			b++
+			continue
+		}
+		free := c.width - c.busy[i]
+		if free <= 0 {
+			b++
+			continue
+		}
+		take := rem
+		if take > free {
+			take = free
+		}
+		c.busy[i] += take
+		rem -= take
+		if rem > 0 {
+			b++
+		}
+	}
+	return start
+}
+
+// utilization reports the mean busy fraction across currently tracked
+// buckets (diagnostics and tests).
+func (c *calendar) utilization() float64 {
+	var busy units.Time
+	for _, x := range c.busy {
+		busy += x
+	}
+	return float64(busy) / (float64(c.width) * float64(len(c.busy)))
+}

@@ -1,0 +1,210 @@
+package mem
+
+import (
+	"depburst/internal/units"
+)
+
+// DRAMConfig holds the timing and geometry parameters of the memory device
+// and controller. All latencies are wall-clock values: DRAM does not scale
+// with the core frequency, which is precisely why memory time forms the
+// non-scaling component of execution time.
+type DRAMConfig struct {
+	Banks    int        // number of banks (power of two)
+	RowBytes int        // row-buffer ("page") size per bank
+	TRCD     units.Time // activate-to-column delay
+	TCAS     units.Time // column access (row-hit) latency
+	TRP      units.Time // precharge latency
+	TBurst   units.Time // data-bus occupancy per line transfer (reads)
+	// TWriteBurst is the effective per-line drain occupancy for buffered
+	// writes. FR-FCFS gives reads priority, so writes see only the bus
+	// gaps — roughly half the raw bandwidth.
+	TWriteBurst units.Time
+	TController units.Time // fixed controller + on-chip network overhead
+}
+
+// DefaultDRAMConfig returns dual-channel DDR3-1600-like parameters: ~14 ns
+// core DRAM timings, 64-byte transfers at ~25.6 GB/s aggregate (2.5 ns per
+// line), 16 banks with 2 KiB rows — the Haswell i7-4770K's memory system.
+func DefaultDRAMConfig() DRAMConfig {
+	return DRAMConfig{
+		Banks:       16,
+		RowBytes:    2048,
+		TRCD:        units.Time(13750), // 13.75 ns
+		TCAS:        units.Time(13750),
+		TRP:         units.Time(13750),
+		TBurst:      units.Time(2500), // 2.5 ns per 64B line, dual channel
+		TWriteBurst: units.Time(5000), // writes drain in read gaps
+		TController: units.Time(10000),
+	}
+}
+
+type bank struct {
+	openRow uint64
+	rowOpen bool
+	cal     *calendar
+}
+
+// Calendar geometry: 250 ns buckets over a 64 µs ring, comfortably larger
+// than the maximum cross-core simulation skew (one compute block).
+const (
+	calBucket  = 250 * units.Nanosecond
+	calBuckets = 256
+)
+
+// DRAM models a single-channel memory with per-bank row buffers and an
+// open-page policy. Requests are serviced in arrival order with per-bank
+// and data-bus "next free" bookkeeping, which makes queueing delay and bank
+// conflicts emerge naturally: a burst of requests to the same bank serialise,
+// requests to distinct banks overlap up to the data-bus bandwidth.
+type DRAM struct {
+	cfg      DRAMConfig
+	banks    []bank
+	bus      *calendar // demand reads
+	wbus     *calendar // buffered writes
+	bankMask uint64
+
+	// Stats
+	Reads     uint64
+	Writes    uint64
+	RowHits   uint64
+	RowMisses uint64 // closed-row activations
+	Conflicts uint64 // row-buffer conflicts (precharge needed)
+	BusyTime  units.Time
+	totalLat  units.Time
+}
+
+// NewDRAM builds a DRAM model from cfg. It panics if Banks is not a power
+// of two.
+func NewDRAM(cfg DRAMConfig) *DRAM {
+	if cfg.Banks <= 0 || cfg.Banks&(cfg.Banks-1) != 0 {
+		panic("mem: DRAM bank count must be a power of two")
+	}
+	d := &DRAM{
+		cfg:      cfg,
+		banks:    make([]bank, cfg.Banks),
+		bus:      newCalendar(calBucket, calBuckets),
+		wbus:     newCalendar(calBucket, calBuckets),
+		bankMask: uint64(cfg.Banks - 1),
+	}
+	for i := range d.banks {
+		d.banks[i].cal = newCalendar(calBucket, calBuckets)
+	}
+	return d
+}
+
+// Config returns the DRAM parameters.
+func (d *DRAM) Config() DRAMConfig { return d.cfg }
+
+func (d *DRAM) bankOf(a Addr) (idx int, row uint64) {
+	line := uint64(a) / LineSize
+	// Interleave consecutive lines across banks, rows above that.
+	idx = int(line & d.bankMask)
+	row = line / uint64(d.cfg.Banks) / (uint64(d.cfg.RowBytes) / LineSize)
+	return idx, row
+}
+
+// AccessKind classifies a DRAM access outcome for statistics and tests.
+type AccessKind int
+
+// Access outcomes.
+const (
+	RowHit AccessKind = iota
+	RowMiss
+	RowConflict
+)
+
+// Access services one line read or write arriving at time now and returns
+// the completion time (now + latency) and the row-buffer outcome. The model
+// mutates bank and bus state, so the order of calls matters; callers must
+// present requests in approximately non-decreasing time order.
+func (d *DRAM) Access(now units.Time, addr Addr, write bool) (done units.Time, kind AccessKind) {
+	if write {
+		d.Writes++
+	} else {
+		d.Reads++
+	}
+	idx, row := d.bankOf(addr)
+	b := &d.banks[idx]
+
+	arrive := now + d.cfg.TController
+
+	if write {
+		// Writes land in the controller's write buffer and drain at
+		// bus bandwidth. An FR-FCFS scheduler prioritises demand reads
+		// and drains writes in the gaps, so buffered writes neither
+		// occupy banks nor delay reads; they are tracked on their own
+		// drain calendar. The returned completion is when the line has
+		// left the write buffer, which is what store-queue retirement
+		// waits for.
+		wb := d.cfg.TWriteBurst
+		if wb <= 0 {
+			wb = d.cfg.TBurst
+		}
+		busStart := d.wbus.reserve(arrive, wb)
+		done = busStart + wb
+		d.BusyTime += wb
+		d.totalLat += done - now
+		d.RowHits++ // buffered writes behave like row hits for stats
+		return done, RowHit
+	}
+
+	var access units.Time
+	switch {
+	case b.rowOpen && b.openRow == row:
+		kind = RowHit
+		d.RowHits++
+		access = d.cfg.TCAS
+	case !b.rowOpen:
+		kind = RowMiss
+		d.RowMisses++
+		access = d.cfg.TRCD + d.cfg.TCAS
+	default:
+		kind = RowConflict
+		d.Conflicts++
+		access = d.cfg.TRP + d.cfg.TRCD + d.cfg.TCAS
+	}
+	b.rowOpen = true
+	b.openRow = row
+
+	// Book the bank for the row/column access, then the shared data bus
+	// for the line transfer. Queueing emerges when the calendars fill.
+	bankStart := b.cal.reserve(arrive, access)
+	dataReady := bankStart + access
+	busStart := d.bus.reserve(dataReady, d.cfg.TBurst)
+	done = busStart + d.cfg.TBurst
+
+	d.BusyTime += d.cfg.TBurst
+	d.totalLat += done - now
+	return done, kind
+}
+
+// AvgLatency reports the mean request latency so far.
+func (d *DRAM) AvgLatency() units.Time {
+	n := d.Reads + d.Writes
+	if n == 0 {
+		return 0
+	}
+	return d.totalLat / units.Time(n)
+}
+
+// PeakBandwidth returns bytes per second deliverable by the data bus.
+func (d *DRAM) PeakBandwidth() float64 {
+	return float64(LineSize) / d.cfg.TBurst.Seconds()
+}
+
+// BusUtilization reports the data bus's recent busy fraction.
+func (d *DRAM) BusUtilization() float64 { return d.bus.utilization() }
+
+// Reset clears bank state and statistics, keeping the configuration.
+func (d *DRAM) Reset() {
+	for i := range d.banks {
+		d.banks[i].rowOpen = false
+		d.banks[i].openRow = 0
+		d.banks[i].cal = newCalendar(calBucket, calBuckets)
+	}
+	d.bus = newCalendar(calBucket, calBuckets)
+	d.wbus = newCalendar(calBucket, calBuckets)
+	d.Reads, d.Writes = 0, 0
+	d.RowHits, d.RowMisses, d.Conflicts = 0, 0, 0
+	d.BusyTime, d.totalLat = 0, 0
+}

@@ -1,0 +1,161 @@
+package mem
+
+import (
+	"testing"
+
+	"depburst/internal/units"
+)
+
+func testDRAM() *DRAM {
+	return NewDRAM(DefaultDRAMConfig())
+}
+
+func TestDRAMRowClassification(t *testing.T) {
+	d := testDRAM()
+	cfg := d.Config()
+	rowSpan := Addr(cfg.RowBytes * cfg.Banks) // addresses this far apart share a bank, different row
+
+	// First access to a bank: closed row.
+	_, kind := d.Access(0, 0, false)
+	if kind != RowMiss {
+		t.Errorf("first access = %v, want RowMiss", kind)
+	}
+	// Same row (same line even): hit.
+	_, kind = d.Access(1000, 0, false)
+	if kind != RowHit {
+		t.Errorf("same-row access = %v, want RowHit", kind)
+	}
+	// Same bank, different row: conflict.
+	_, kind = d.Access(2000, rowSpan, false)
+	if kind != RowConflict {
+		t.Errorf("different-row access = %v, want RowConflict", kind)
+	}
+	if d.RowMisses != 1 || d.RowHits != 1 || d.Conflicts != 1 {
+		t.Errorf("stats: %d/%d/%d", d.RowHits, d.RowMisses, d.Conflicts)
+	}
+}
+
+func TestDRAMBankInterleave(t *testing.T) {
+	d := testDRAM()
+	b0, _ := d.bankOf(0)
+	b1, _ := d.bankOf(LineSize)
+	if b0 == b1 {
+		t.Error("consecutive lines map to the same bank")
+	}
+	bN, _ := d.bankOf(Addr(LineSize * d.Config().Banks))
+	if bN != b0 {
+		t.Error("bank interleave does not wrap after Banks lines")
+	}
+}
+
+func TestDRAMLatencyBounds(t *testing.T) {
+	d := testDRAM()
+	cfg := d.Config()
+	done, _ := d.Access(0, 0, false)
+	lat := done - 0
+	min := cfg.TController + cfg.TRCD + cfg.TCAS + cfg.TBurst
+	if lat != min {
+		t.Errorf("uncontended closed-row latency %v, want %v", lat, min)
+	}
+}
+
+func TestDRAMReadsUnaffectedByWrites(t *testing.T) {
+	// A flood of buffered writes must not delay demand reads (FR-FCFS
+	// read priority + write buffering).
+	d := testDRAM()
+	for i := 0; i < 2000; i++ {
+		d.Access(0, Addr(i*LineSize), true)
+	}
+	done, _ := d.Access(0, 1<<20, false)
+	dRef := testDRAM()
+	doneRef, _ := dRef.Access(0, 1<<20, false)
+	if done != doneRef {
+		t.Errorf("read latency with write flood %v, without %v", done, doneRef)
+	}
+}
+
+func TestDRAMWriteDrainBandwidthBound(t *testing.T) {
+	// N simultaneous writes drain at one per TWriteBurst.
+	d := testDRAM()
+	const n = 400
+	var last units.Time
+	for i := 0; i < n; i++ {
+		done, _ := d.Access(0, Addr(i*LineSize), true)
+		if done > last {
+			last = done
+		}
+	}
+	want := units.Time(n) * d.Config().TWriteBurst
+	if last < want || last > want+d.Config().TController+d.Config().TWriteBurst {
+		t.Errorf("drain of %d writes finished at %v, want ~%v", n, last, want)
+	}
+}
+
+func TestDRAMWriteBurstDefaultsToRead(t *testing.T) {
+	cfg := DefaultDRAMConfig()
+	cfg.TWriteBurst = 0
+	d := NewDRAM(cfg)
+	done, _ := d.Access(0, 0, true)
+	if done != cfg.TController+cfg.TBurst {
+		t.Errorf("zero TWriteBurst write latency %v", done)
+	}
+}
+
+func TestDRAMQueueingUnderLoad(t *testing.T) {
+	// Reads arriving faster than one bank can serve must queue.
+	d := testDRAM()
+	rowSpan := Addr(d.Config().RowBytes * d.Config().Banks)
+	var worst units.Time
+	for i := 0; i < 32; i++ {
+		// Alternate rows in the same bank at the same instant: every
+		// access is a conflict and they serialise.
+		done, _ := d.Access(0, Addr(i%2)*rowSpan, false)
+		if done > worst {
+			worst = done
+		}
+	}
+	conflictCost := d.Config().TRP + d.Config().TRCD + d.Config().TCAS
+	if worst < 20*conflictCost {
+		t.Errorf("32 same-bank conflicting reads finished at %v, want serialised >= %v",
+			worst, 20*conflictCost)
+	}
+}
+
+func TestDRAMAvgLatencyAndReset(t *testing.T) {
+	d := testDRAM()
+	if d.AvgLatency() != 0 {
+		t.Error("avg latency nonzero with no accesses")
+	}
+	d.Access(0, 0, false)
+	d.Access(0, LineSize, true)
+	if d.AvgLatency() <= 0 {
+		t.Error("avg latency not positive")
+	}
+	d.Reset()
+	if d.Reads != 0 || d.Writes != 0 || d.AvgLatency() != 0 {
+		t.Error("Reset did not clear stats")
+	}
+	_, kind := d.Access(0, 0, false)
+	if kind != RowMiss {
+		t.Error("Reset did not close rows")
+	}
+}
+
+func TestDRAMPeakBandwidth(t *testing.T) {
+	d := testDRAM()
+	want := float64(LineSize) / d.Config().TBurst.Seconds()
+	if got := d.PeakBandwidth(); got != want {
+		t.Errorf("peak bandwidth %v, want %v", got, want)
+	}
+}
+
+func TestDRAMBadBanksPanics(t *testing.T) {
+	cfg := DefaultDRAMConfig()
+	cfg.Banks = 6
+	defer func() {
+		if recover() == nil {
+			t.Error("non-power-of-two banks did not panic")
+		}
+	}()
+	NewDRAM(cfg)
+}

@@ -1,0 +1,193 @@
+package mem
+
+import (
+	"depburst/internal/units"
+)
+
+// Level identifies where in the hierarchy an access was satisfied.
+type Level int
+
+// Hierarchy levels. LevelL1 is returned for accesses the core model filters
+// before reaching the hierarchy (the hierarchy itself never returns it).
+const (
+	LevelL1 Level = iota
+	LevelL2
+	LevelL3
+	LevelDRAM
+)
+
+func (l Level) String() string {
+	switch l {
+	case LevelL1:
+		return "L1"
+	case LevelL2:
+		return "L2"
+	case LevelL3:
+		return "L3"
+	case LevelDRAM:
+		return "DRAM"
+	default:
+		return "?"
+	}
+}
+
+// HierarchyConfig describes the multi-level hierarchy for a chip.
+type HierarchyConfig struct {
+	Cores int
+	L2    CacheConfig // private, per core
+	L3    CacheConfig // shared
+	// L3Latency is the shared-cache hit latency. The L3 runs on the fixed
+	// uncore clock, so this is wall-clock time that does not scale with
+	// core frequency (Table II: 40 cycles at a fixed 1.5 GHz ≈ 26.7 ns).
+	L3Latency units.Time
+	DRAM      DRAMConfig
+	// NextLinePrefetch enables a simple L2 next-line prefetcher: a demand
+	// load that misses the L2 also fetches the following line in the
+	// background (consuming memory bandwidth but adding no latency to the
+	// demand load). Off by default; the prefetch ablation turns it on.
+	NextLinePrefetch bool
+}
+
+// DefaultHierarchyConfig mirrors the paper's Table II: 256 KiB 8-way private
+// L2s, a 4 MiB 16-way shared L3 at a fixed uncore frequency, and DDR3-like
+// memory.
+func DefaultHierarchyConfig(cores int) HierarchyConfig {
+	return HierarchyConfig{
+		Cores:     cores,
+		L2:        CacheConfig{SizeBytes: 256 << 10, Ways: 8},
+		L3:        CacheConfig{SizeBytes: 4 << 20, Ways: 16},
+		L3Latency: units.Time(26667), // 40 cycles @ 1.5 GHz uncore
+		DRAM:      DefaultDRAMConfig(),
+	}
+}
+
+// Result reports where an access hit and, for non-scaling levels (L3 and
+// DRAM), the wall-clock completion time. For LevelL2 the caller applies its
+// own frequency-scaled latency and Done equals the request time.
+type Result struct {
+	Level Level
+	Done  units.Time
+}
+
+// Hierarchy ties per-core L2s, the shared L3, and DRAM together.
+type Hierarchy struct {
+	cfg  HierarchyConfig
+	l2   []*Cache
+	l3   *Cache
+	dram *DRAM
+
+	// Prefetches counts issued next-line prefetches.
+	Prefetches uint64
+}
+
+// NewHierarchy builds the hierarchy for cfg.Cores cores.
+func NewHierarchy(cfg HierarchyConfig) *Hierarchy {
+	if cfg.Cores <= 0 {
+		panic("mem: hierarchy needs at least one core")
+	}
+	h := &Hierarchy{
+		cfg:  cfg,
+		l2:   make([]*Cache, cfg.Cores),
+		l3:   NewCache(cfg.L3),
+		dram: NewDRAM(cfg.DRAM),
+	}
+	for i := range h.l2 {
+		h.l2[i] = NewCache(cfg.L2)
+	}
+	return h
+}
+
+// Config returns the hierarchy configuration.
+func (h *Hierarchy) Config() HierarchyConfig { return h.cfg }
+
+// DRAM exposes the memory model (stats, bandwidth) to callers.
+func (h *Hierarchy) DRAM() *DRAM { return h.dram }
+
+// L2 returns core's private L2, for statistics and tests.
+func (h *Hierarchy) L2(core int) *Cache { return h.l2[core] }
+
+// L3 returns the shared cache, for statistics and tests.
+func (h *Hierarchy) L3() *Cache { return h.l3 }
+
+// Load services a demand load that missed the core's L1 at time now.
+func (h *Hierarchy) Load(now units.Time, core int, addr Addr) Result {
+	return h.access(now, core, addr, false)
+}
+
+// Store services a store draining from the core's store queue at time now.
+// Caches are write-allocate, so a store miss fetches the line like a load.
+func (h *Hierarchy) Store(now units.Time, core int, addr Addr) Result {
+	return h.access(now, core, addr, true)
+}
+
+func (h *Hierarchy) access(now units.Time, core int, addr Addr, write bool) Result {
+	addr = addr.Line()
+	l2res := h.l2[core].Access(addr, write)
+	if l2res.Hit {
+		return Result{Level: LevelL2, Done: now}
+	}
+	// L2 victim writebacks land in the L3 (tag allocation, off the
+	// critical path).
+	if l2res.WritebackValid {
+		h.fillL3(now, l2res.WritebackAddr, true)
+	}
+
+	if h.cfg.NextLinePrefetch && !write {
+		h.prefetch(now, core, addr+LineSize)
+	}
+
+	// Miss in L2: look up the shared L3. The lookup costs the fixed
+	// uncore latency whether it hits or continues to memory.
+	l3res := h.l3.Access(addr, false)
+	if l3res.WritebackValid {
+		// Dirty L3 victim: schedule the memory write; it consumes bank
+		// and bus time but no one waits for it.
+		h.dram.Access(now+h.cfg.L3Latency, l3res.WritebackAddr, true)
+	}
+	if l3res.Hit {
+		return Result{Level: LevelL3, Done: now + h.cfg.L3Latency}
+	}
+	done, _ := h.dram.Access(now+h.cfg.L3Latency, addr, write)
+	return Result{Level: LevelDRAM, Done: done}
+}
+
+// prefetch pulls the line at addr into core's L2 off the critical path:
+// tags are updated immediately and any memory traffic only consumes
+// bandwidth. Useless prefetches still pollute the L2, as in hardware.
+func (h *Hierarchy) prefetch(now units.Time, core int, addr Addr) {
+	addr = addr.Line()
+	if h.l2[core].Probe(addr) {
+		return
+	}
+	res := h.l2[core].Access(addr, false)
+	if res.WritebackValid {
+		h.fillL3(now, res.WritebackAddr, true)
+	}
+	l3res := h.l3.Access(addr, false)
+	if l3res.WritebackValid {
+		h.dram.Access(now+h.cfg.L3Latency, l3res.WritebackAddr, true)
+	}
+	if !l3res.Hit {
+		h.dram.Access(now+h.cfg.L3Latency, addr, false)
+	}
+	h.Prefetches++
+}
+
+func (h *Hierarchy) fillL3(now units.Time, addr Addr, dirty bool) {
+	res := h.l3.Access(addr, dirty)
+	if res.WritebackValid {
+		h.dram.Access(now, res.WritebackAddr, true)
+	}
+}
+
+// InvalidateRange drops every line in [base, base+size) from all caches.
+// The garbage collector uses this when recycling an address range (e.g. the
+// nursery after a collection): a fresh allocation must not hit stale lines.
+func (h *Hierarchy) InvalidateRange(base Addr, size int64) {
+	for a := base.Line(); a < base+Addr(size); a += LineSize {
+		for _, c := range h.l2 {
+			c.Invalidate(a)
+		}
+		h.l3.Invalidate(a)
+	}
+}

@@ -1,0 +1,164 @@
+package mem
+
+import (
+	"testing"
+
+	"depburst/internal/units"
+)
+
+func testHier() *Hierarchy {
+	return NewHierarchy(DefaultHierarchyConfig(2))
+}
+
+func TestHierarchyLevels(t *testing.T) {
+	h := testHier()
+	// Cold: DRAM.
+	res := h.Load(0, 0, 0x100000)
+	if res.Level != LevelDRAM {
+		t.Errorf("cold load level %v", res.Level)
+	}
+	if res.Done <= 0 {
+		t.Errorf("DRAM done %v", res.Done)
+	}
+	// Warm in this core's L2.
+	res = h.Load(res.Done, 0, 0x100000)
+	if res.Level != LevelL2 {
+		t.Errorf("second load level %v, want L2", res.Level)
+	}
+}
+
+func TestHierarchyL2PrivateL3Shared(t *testing.T) {
+	h := testHier()
+	r1 := h.Load(0, 0, 0x200000)
+	// Other core: misses its own L2 but hits the shared L3.
+	res := h.Load(r1.Done, 1, 0x200000)
+	if res.Level != LevelL3 {
+		t.Errorf("cross-core load level %v, want L3", res.Level)
+	}
+	lat := res.Done - r1.Done
+	if lat != h.Config().L3Latency {
+		t.Errorf("L3 hit latency %v, want %v", lat, h.Config().L3Latency)
+	}
+}
+
+func TestHierarchyL3LatencyIsWallClock(t *testing.T) {
+	// The L3 latency must not depend on anything but the config (it is
+	// the fixed uncore clock): two L3 hits at different times cost the
+	// same.
+	h := testHier()
+	h.Load(0, 0, 0x300000)
+	a := h.Load(1000000, 1, 0x300000)
+	if a.Done-1000000 != h.Config().L3Latency {
+		t.Errorf("L3 latency %v", a.Done-1000000)
+	}
+}
+
+func TestHierarchyStoreAllocates(t *testing.T) {
+	h := testHier()
+	res := h.Store(0, 0, 0x400000)
+	if res.Level != LevelDRAM {
+		t.Errorf("cold store level %v", res.Level)
+	}
+	// The store allocated the line: a subsequent load hits L2.
+	res2 := h.Load(res.Done, 0, 0x400000)
+	if res2.Level != LevelL2 {
+		t.Errorf("load after store level %v, want L2", res2.Level)
+	}
+}
+
+func TestHierarchyInvalidateRange(t *testing.T) {
+	h := testHier()
+	base := Addr(0x500000)
+	r := h.Load(0, 0, base)
+	h.InvalidateRange(base, 4096)
+	res := h.Load(r.Done, 0, base)
+	if res.Level != LevelDRAM {
+		t.Errorf("load after invalidate level %v, want DRAM", res.Level)
+	}
+}
+
+func TestHierarchyWritebackPath(t *testing.T) {
+	// Fill one L2 set with dirty lines and keep going: evicted dirty
+	// lines must land in the L3 (hit there afterwards).
+	h := testHier()
+	l2 := h.Config().L2
+	setStride := int64(l2.Sets() * LineSize)
+	now := units.Time(0)
+	addrs := make([]Addr, l2.Ways+2)
+	for i := range addrs {
+		addrs[i] = Addr(0x600000 + int64(i)*setStride)
+		res := h.Store(now, 0, addrs[i])
+		now = res.Done + 1
+	}
+	// The first address was evicted from L2; it must be an L3 hit now.
+	res := h.Load(now, 0, addrs[0])
+	if res.Level != LevelL3 {
+		t.Errorf("evicted dirty line level %v, want L3", res.Level)
+	}
+}
+
+func TestHierarchyDistinctCoreL2s(t *testing.T) {
+	h := testHier()
+	if h.L2(0) == h.L2(1) {
+		t.Error("cores share an L2")
+	}
+	if h.L3() == nil || h.DRAM() == nil {
+		t.Error("accessors returned nil")
+	}
+}
+
+func TestHierarchyZeroCoresPanics(t *testing.T) {
+	cfg := DefaultHierarchyConfig(0)
+	defer func() {
+		if recover() == nil {
+			t.Error("zero cores did not panic")
+		}
+	}()
+	NewHierarchy(cfg)
+}
+
+func TestLevelString(t *testing.T) {
+	for l, want := range map[Level]string{LevelL1: "L1", LevelL2: "L2", LevelL3: "L3", LevelDRAM: "DRAM", Level(9): "?"} {
+		if l.String() != want {
+			t.Errorf("Level(%d).String() = %q", l, l.String())
+		}
+	}
+}
+
+func TestNextLinePrefetch(t *testing.T) {
+	cfg := DefaultHierarchyConfig(1)
+	cfg.NextLinePrefetch = true
+	h := NewHierarchy(cfg)
+
+	// A demand miss on line X prefetches X+1: the next sequential load
+	// must hit the L2.
+	base := Addr(0x700000)
+	r1 := h.Load(0, 0, base)
+	if r1.Level != LevelDRAM {
+		t.Fatalf("first load level %v", r1.Level)
+	}
+	if h.Prefetches == 0 {
+		t.Fatal("no prefetch issued")
+	}
+	r2 := h.Load(r1.Done, 0, base+LineSize)
+	if r2.Level != LevelL2 {
+		t.Errorf("sequential load level %v, want L2 (prefetched)", r2.Level)
+	}
+
+	// Prefetching consumes DRAM bandwidth: reads counted.
+	if h.DRAM().Reads < 2 {
+		t.Errorf("prefetch did not reach DRAM: %d reads", h.DRAM().Reads)
+	}
+}
+
+func TestPrefetchDisabledByDefault(t *testing.T) {
+	h := testHier()
+	r1 := h.Load(0, 0, 0x800000)
+	r2 := h.Load(r1.Done, 0, 0x800000+LineSize)
+	if r2.Level == LevelL2 {
+		t.Error("next line present without prefetching")
+	}
+	if h.Prefetches != 0 {
+		t.Error("prefetches issued while disabled")
+	}
+}

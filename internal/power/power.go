@@ -1,0 +1,195 @@
+// Package power models processor power and energy in the style of McPAT:
+// per-core dynamic power αCV²f scaled by pipeline activity, voltage-
+// dependent leakage, constant uncore power, and per-access DRAM energy.
+// The voltage/frequency operating points follow Intel's 22 nm Haswell
+// i7-4770K, as in the paper's methodology (Table II).
+package power
+
+import (
+	"fmt"
+	"sort"
+
+	"depburst/internal/units"
+)
+
+// VF is one DVFS operating point.
+type VF struct {
+	Freq units.Freq
+	Volt float64
+}
+
+// Config parameterises the power model.
+type Config struct {
+	// CDyn is the effective switched capacitance per core at full
+	// activity, in watts per (volt² · GHz).
+	CDyn float64
+	// ActivityBase is the fraction of CDyn toggling even at IPC 0 while
+	// the core is active (clock tree, fetch); ActivityIPC scales with
+	// realised IPC utilisation.
+	ActivityBase float64
+	ActivityIPC  float64
+	// IdleActivity is the activity of a core with nothing scheduled
+	// (clock-gated).
+	IdleActivity float64
+	// LeakPerCore is per-core leakage power at nominal (maximum) voltage;
+	// leakage scales linearly with voltage.
+	LeakPerCore float64
+	// Uncore is constant power for the shared L3, ring and memory
+	// controller.
+	Uncore float64
+	// DRAMBackground is constant DRAM background power; DRAMAccess is
+	// the energy per 64-byte DRAM access.
+	DRAMBackground float64
+	DRAMAccess     units.Energy
+	// Table holds the supported V/f points in ascending frequency order;
+	// intermediate frequencies interpolate linearly.
+	Table []VF
+}
+
+// DefaultConfig returns a quad-core 22 nm Haswell-like model calibrated so
+// the chip draws ~80 W fully active at 4 GHz and ~20 W at 1 GHz.
+func DefaultConfig() Config {
+	return Config{
+		CDyn:           2.70,
+		ActivityBase:   0.3,
+		ActivityIPC:    0.7,
+		IdleActivity:   0.05,
+		LeakPerCore:    3.0,
+		Uncore:         10.0,
+		DRAMBackground: 2.5,
+		DRAMAccess:     10 * units.Nanojoule,
+		Table: []VF{
+			{Freq: 1000 * units.MHz, Volt: 0.70},
+			{Freq: 1500 * units.MHz, Volt: 0.78},
+			{Freq: 2000 * units.MHz, Volt: 0.86},
+			{Freq: 2500 * units.MHz, Volt: 0.93},
+			{Freq: 3000 * units.MHz, Volt: 1.00},
+			{Freq: 3500 * units.MHz, Volt: 1.08},
+			{Freq: 4000 * units.MHz, Volt: 1.15},
+		},
+	}
+}
+
+// Model evaluates power at operating points.
+type Model struct {
+	cfg Config
+}
+
+// NewModel validates cfg and returns a model.
+func NewModel(cfg Config) (*Model, error) {
+	if len(cfg.Table) < 2 {
+		return nil, fmt.Errorf("power: V/f table needs at least two points")
+	}
+	if !sort.SliceIsSorted(cfg.Table, func(i, j int) bool { return cfg.Table[i].Freq < cfg.Table[j].Freq }) {
+		return nil, fmt.Errorf("power: V/f table must be sorted by frequency")
+	}
+	for i, p := range cfg.Table {
+		if p.Volt <= 0 || p.Freq <= 0 {
+			return nil, fmt.Errorf("power: invalid V/f point %d: %+v", i, p)
+		}
+	}
+	return &Model{cfg: cfg}, nil
+}
+
+// MustModel is NewModel that panics on error, for known-good configs.
+func MustModel(cfg Config) *Model {
+	m, err := NewModel(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// Config returns the model parameters.
+func (m *Model) Config() Config { return m.cfg }
+
+// MinFreq and MaxFreq bound the supported DVFS range.
+func (m *Model) MinFreq() units.Freq { return m.cfg.Table[0].Freq }
+
+// MaxFreq returns the highest supported frequency.
+func (m *Model) MaxFreq() units.Freq { return m.cfg.Table[len(m.cfg.Table)-1].Freq }
+
+// Voltage interpolates the supply voltage for f, clamping to the table
+// boundaries.
+func (m *Model) Voltage(f units.Freq) float64 {
+	t := m.cfg.Table
+	if f <= t[0].Freq {
+		return t[0].Volt
+	}
+	if f >= t[len(t)-1].Freq {
+		return t[len(t)-1].Volt
+	}
+	i := sort.Search(len(t), func(i int) bool { return t[i].Freq >= f }) // t[i-1].Freq < f <= t[i].Freq
+	lo, hi := t[i-1], t[i]
+	frac := float64(f-lo.Freq) / float64(hi.Freq-lo.Freq)
+	return lo.Volt + frac*(hi.Volt-lo.Volt)
+}
+
+// Activity describes the chip's utilisation over an interval.
+type Activity struct {
+	// BusyFrac is the fraction of core-time with a thread scheduled,
+	// averaged over all cores (0..1).
+	BusyFrac float64
+	// IPCFrac is committed instructions divided by the maximum possible
+	// (width × busy cycles), 0..1.
+	IPCFrac float64
+	// DRAMAccesses is the number of 64-byte memory transfers in the
+	// interval.
+	DRAMAccesses uint64
+}
+
+// CorePower returns one core's average power (watts) at frequency f with
+// the given activity. With per-core DVFS each core runs at its own V/f
+// point, so per-core powers are evaluated independently and summed.
+func (m *Model) CorePower(f units.Freq, a Activity) float64 {
+	v := m.Voltage(f)
+	busyAct := m.cfg.ActivityBase + m.cfg.ActivityIPC*clamp01(a.IPCFrac)
+	act := clamp01(a.BusyFrac)*busyAct + (1-clamp01(a.BusyFrac))*m.cfg.IdleActivity
+	dyn := m.cfg.CDyn * v * v * f.GHzF() * act
+	leak := m.cfg.LeakPerCore * v / m.cfg.Table[len(m.cfg.Table)-1].Volt
+	return dyn + leak
+}
+
+// UncorePower returns the frequency-independent shared power (L3, ring,
+// memory controller, DRAM background).
+func (m *Model) UncorePower() float64 { return m.cfg.Uncore + m.cfg.DRAMBackground }
+
+// ChipPower returns the chip's average power (watts, excluding per-access
+// DRAM energy) for the given frequency, core count and activity.
+func (m *Model) ChipPower(f units.Freq, cores int, a Activity) float64 {
+	return float64(cores)*m.CorePower(f, a) + m.UncorePower()
+}
+
+// IntervalEnergy integrates power over an interval of length d with the
+// given activity, including per-access DRAM energy.
+func (m *Model) IntervalEnergy(f units.Freq, cores int, a Activity, d units.Time) units.Energy {
+	e := units.EnergyFromPower(m.ChipPower(f, cores, a), d)
+	e += units.Energy(a.DRAMAccesses) * m.cfg.DRAMAccess
+	return e
+}
+
+// States enumerates the DVFS states from MinFreq to MaxFreq with the given
+// step (e.g. 125 MHz, the paper's setting).
+func (m *Model) States(step units.Freq) []units.Freq {
+	if step <= 0 {
+		panic("power: non-positive DVFS step")
+	}
+	var out []units.Freq
+	for f := m.MinFreq(); f <= m.MaxFreq(); f += step {
+		out = append(out, f)
+	}
+	if out[len(out)-1] != m.MaxFreq() {
+		out = append(out, m.MaxFreq())
+	}
+	return out
+}
+
+func clamp01(x float64) float64 {
+	if x < 0 {
+		return 0
+	}
+	if x > 1 {
+		return 1
+	}
+	return x
+}

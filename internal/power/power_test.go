@@ -1,0 +1,185 @@
+package power
+
+import (
+	"testing"
+	"testing/quick"
+
+	"depburst/internal/units"
+)
+
+func model(t *testing.T) *Model {
+	t.Helper()
+	m, err := NewModel(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestVoltageTableEndpoints(t *testing.T) {
+	m := model(t)
+	if got := m.Voltage(1000); got != 0.70 {
+		t.Errorf("V(1GHz) = %v", got)
+	}
+	if got := m.Voltage(4000); got != 1.15 {
+		t.Errorf("V(4GHz) = %v", got)
+	}
+	// Clamping outside the table.
+	if m.Voltage(500) != 0.70 || m.Voltage(5000) != 1.15 {
+		t.Error("voltage not clamped at table edges")
+	}
+	// Interpolation: midway between 1 and 1.5 GHz.
+	mid := m.Voltage(1250)
+	if mid <= 0.70 || mid >= 0.78 {
+		t.Errorf("V(1.25GHz) = %v, want within (0.70, 0.78)", mid)
+	}
+}
+
+func TestVoltageMonotone(t *testing.T) {
+	m := model(t)
+	err := quick.Check(func(a, b uint16) bool {
+		fa := units.Freq(a%4000) + 500
+		fb := units.Freq(b%4000) + 500
+		if fa > fb {
+			fa, fb = fb, fa
+		}
+		return m.Voltage(fa) <= m.Voltage(fb)
+	}, nil)
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPowerMonotoneInFrequency(t *testing.T) {
+	m := model(t)
+	act := Activity{BusyFrac: 1, IPCFrac: 0.5}
+	prev := 0.0
+	for f := units.Freq(1000); f <= 4000; f += 125 {
+		p := m.ChipPower(f, 4, act)
+		if p <= prev {
+			t.Fatalf("power not increasing at %v: %v <= %v", f, p, prev)
+		}
+		prev = p
+	}
+}
+
+func TestPowerMonotoneInActivity(t *testing.T) {
+	m := model(t)
+	idle := m.ChipPower(4000, 4, Activity{BusyFrac: 0})
+	half := m.ChipPower(4000, 4, Activity{BusyFrac: 0.5, IPCFrac: 0.5})
+	full := m.ChipPower(4000, 4, Activity{BusyFrac: 1, IPCFrac: 1})
+	if !(idle < half && half < full) {
+		t.Errorf("power not monotone in activity: %v, %v, %v", idle, half, full)
+	}
+	if idle <= m.Config().Uncore {
+		t.Errorf("idle power %v should still include uncore %v plus leakage", idle, m.Config().Uncore)
+	}
+}
+
+func TestPowerCalibration(t *testing.T) {
+	// Sanity band for the default Haswell-like chip: full tilt at 4 GHz
+	// in the tens of watts; near-idle at 1 GHz far lower.
+	m := model(t)
+	max := m.ChipPower(4000, 4, Activity{BusyFrac: 1, IPCFrac: 0.6})
+	min := m.ChipPower(1000, 4, Activity{BusyFrac: 1, IPCFrac: 0.6})
+	if max < 50 || max > 120 {
+		t.Errorf("4 GHz power %v W outside sanity band", max)
+	}
+	if min > max/2 {
+		t.Errorf("1 GHz power %v W not well below 4 GHz power %v W", min, max)
+	}
+}
+
+func TestIntervalEnergy(t *testing.T) {
+	m := model(t)
+	act := Activity{BusyFrac: 1, IPCFrac: 0.5}
+	e1 := m.IntervalEnergy(2000, 4, act, units.Millisecond)
+	e2 := m.IntervalEnergy(2000, 4, act, 2*units.Millisecond)
+	// Twice the duration, twice the energy.
+	ratio := float64(e2) / float64(e1)
+	if ratio < 1.99 || ratio > 2.01 {
+		t.Errorf("energy not linear in time: %v", ratio)
+	}
+	// DRAM accesses add energy.
+	withDram := m.IntervalEnergy(2000, 4, Activity{BusyFrac: 1, IPCFrac: 0.5, DRAMAccesses: 1000}, units.Millisecond)
+	if withDram-e1 != 1000*m.Config().DRAMAccess {
+		t.Errorf("DRAM energy delta %v", withDram-e1)
+	}
+}
+
+func TestStates(t *testing.T) {
+	m := model(t)
+	states := m.States(125)
+	if states[0] != 1000 || states[len(states)-1] != 4000 {
+		t.Errorf("states endpoints: %v .. %v", states[0], states[len(states)-1])
+	}
+	if len(states) != 25 {
+		t.Errorf("state count %d, want 25", len(states))
+	}
+	for i := 1; i < len(states); i++ {
+		if states[i] <= states[i-1] {
+			t.Fatal("states not increasing")
+		}
+	}
+}
+
+func TestStatesOddStepIncludesMax(t *testing.T) {
+	m := model(t)
+	states := m.States(700)
+	if states[len(states)-1] != 4000 {
+		t.Errorf("max frequency missing: %v", states)
+	}
+}
+
+func TestBadConfigRejected(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Table = cfg.Table[:1]
+	if _, err := NewModel(cfg); err == nil {
+		t.Error("single-point table accepted")
+	}
+	cfg = DefaultConfig()
+	cfg.Table[0], cfg.Table[1] = cfg.Table[1], cfg.Table[0]
+	if _, err := NewModel(cfg); err == nil {
+		t.Error("unsorted table accepted")
+	}
+	cfg = DefaultConfig()
+	cfg.Table[2].Volt = -1
+	if _, err := NewModel(cfg); err == nil {
+		t.Error("negative voltage accepted")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("MustModel did not panic")
+		}
+	}()
+	MustModel(cfg)
+}
+
+func TestMinMaxFreq(t *testing.T) {
+	m := model(t)
+	if m.MinFreq() != 1000 || m.MaxFreq() != 4000 {
+		t.Errorf("range %v..%v", m.MinFreq(), m.MaxFreq())
+	}
+}
+
+func TestChipPowerIsSumOfCores(t *testing.T) {
+	m := model(t)
+	a := Activity{BusyFrac: 0.7, IPCFrac: 0.4}
+	chip := m.ChipPower(2500, 4, a)
+	sum := 4*m.CorePower(2500, a) + m.UncorePower()
+	if diff := chip - sum; diff > 1e-9 || diff < -1e-9 {
+		t.Errorf("chip %v != 4*core+uncore %v", chip, sum)
+	}
+}
+
+func TestCorePowerPerCoreDVFS(t *testing.T) {
+	// A core at 1 GHz must burn far less than one at 4 GHz under the
+	// same activity — the premise of per-core DVFS savings.
+	m := model(t)
+	a := Activity{BusyFrac: 1, IPCFrac: 0.5}
+	lo := m.CorePower(1000, a)
+	hi := m.CorePower(4000, a)
+	if lo >= hi/2 {
+		t.Errorf("per-core power: %vW @1GHz vs %vW @4GHz", lo, hi)
+	}
+}

@@ -1,0 +1,150 @@
+// Package report provides the table formatting and error metrics used to
+// print paper-style experiment outputs.
+package report
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table is a titled grid of rows printed with aligned columns.
+type Table struct {
+	Title  string
+	Header []string
+	Rows   [][]string
+	Notes  []string
+}
+
+// AddRow appends a row of cells.
+func (t *Table) AddRow(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// AddNote appends a free-form footnote line.
+func (t *Table) AddNote(format string, args ...any) {
+	t.Notes = append(t.Notes, fmt.Sprintf(format, args...))
+}
+
+// Fprint renders the table to w.
+func (t *Table) Fprint(w io.Writer) {
+	if t.Title != "" {
+		fmt.Fprintf(w, "== %s ==\n", t.Title)
+	}
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			wd := 0
+			if i < len(widths) {
+				wd = widths[i]
+			}
+			if i == 0 {
+				parts[i] = fmt.Sprintf("%-*s", wd, c)
+			} else {
+				parts[i] = fmt.Sprintf("%*s", wd, c)
+			}
+		}
+		fmt.Fprintln(w, strings.Join(parts, "  "))
+	}
+	line(t.Header)
+	total := len(widths) - 1
+	for _, wd := range widths {
+		total += wd + 1
+	}
+	fmt.Fprintln(w, strings.Repeat("-", total))
+	for _, row := range t.Rows {
+		line(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(w, "note: %s\n", n)
+	}
+	fmt.Fprintln(w)
+}
+
+// String renders the table.
+func (t *Table) String() string {
+	var b strings.Builder
+	t.Fprint(&b)
+	return b.String()
+}
+
+// FprintJSON renders the table as a JSON object with the rows keyed by the
+// header, for machine consumption (`depburst <cmd> -json`).
+func (t *Table) FprintJSON(w io.Writer) error {
+	type doc struct {
+		Title string              `json:"title"`
+		Rows  []map[string]string `json:"rows"`
+		Notes []string            `json:"notes,omitempty"`
+	}
+	d := doc{Title: t.Title, Notes: t.Notes, Rows: make([]map[string]string, 0, len(t.Rows))}
+	for _, row := range t.Rows {
+		m := make(map[string]string, len(row))
+		for i, c := range row {
+			key := fmt.Sprintf("col%d", i)
+			if i < len(t.Header) {
+				key = t.Header[i]
+			}
+			m[key] = c
+		}
+		d.Rows = append(d.Rows, m)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(d)
+}
+
+// Pct formats a ratio as a signed percentage ("-12.3%").
+func Pct(x float64) string { return fmt.Sprintf("%+.1f%%", 100*x) }
+
+// PctAbs formats a ratio as an unsigned percentage ("12.3%").
+func PctAbs(x float64) string {
+	if x < 0 {
+		x = -x
+	}
+	return fmt.Sprintf("%.1f%%", 100*x)
+}
+
+// RelError returns predicted/actual - 1; negative means underestimation.
+func RelError(predicted, actual float64) float64 {
+	if actual == 0 {
+		return 0
+	}
+	return predicted/actual - 1
+}
+
+// MeanAbs returns the mean of |xs|.
+func MeanAbs(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range xs {
+		if x < 0 {
+			x = -x
+		}
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// Mean returns the arithmetic mean.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}

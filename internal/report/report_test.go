@@ -1,0 +1,105 @@
+package report
+
+import (
+	"encoding/json"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestTableFormatting(t *testing.T) {
+	tb := &Table{
+		Title:  "demo",
+		Header: []string{"name", "value"},
+	}
+	tb.AddRow("alpha", "1")
+	tb.AddRow("beta-longer", "22")
+	tb.AddNote("a note with %d", 42)
+	out := tb.String()
+
+	if !strings.Contains(out, "== demo ==") {
+		t.Error("missing title")
+	}
+	if !strings.Contains(out, "note: a note with 42") {
+		t.Error("missing note")
+	}
+	lines := strings.Split(out, "\n")
+	// Header, separator, two rows all present.
+	if len(lines) < 5 {
+		t.Fatalf("too few lines: %q", out)
+	}
+	// Columns align: "value" and "22" end at the same column.
+	hdr := lines[1] // lines[0] is the title
+	row := lines[3]
+	if len(hdr) == 0 || len(row) == 0 {
+		t.Fatal("empty lines")
+	}
+	if !strings.HasSuffix(strings.TrimRight(hdr, " "), "value") {
+		t.Errorf("header %q", hdr)
+	}
+}
+
+func TestPct(t *testing.T) {
+	if got := Pct(0.123); got != "+12.3%" {
+		t.Errorf("Pct = %q", got)
+	}
+	if got := Pct(-0.05); got != "-5.0%" {
+		t.Errorf("Pct = %q", got)
+	}
+	if got := PctAbs(-0.05); got != "5.0%" {
+		t.Errorf("PctAbs = %q", got)
+	}
+}
+
+func TestRelError(t *testing.T) {
+	if got := RelError(110, 100); math.Abs(got-0.1) > 1e-12 {
+		t.Errorf("RelError = %v", got)
+	}
+	if got := RelError(90, 100); math.Abs(got+0.1) > 1e-12 {
+		t.Errorf("RelError = %v", got)
+	}
+	if got := RelError(5, 0); got != 0 {
+		t.Errorf("RelError with zero actual = %v", got)
+	}
+}
+
+func TestMeans(t *testing.T) {
+	xs := []float64{-0.2, 0.1, 0.3}
+	if got := MeanAbs(xs); math.Abs(got-0.2) > 1e-12 {
+		t.Errorf("MeanAbs = %v", got)
+	}
+	if got := Mean(xs); math.Abs(got-0.0666666666) > 1e-9 {
+		t.Errorf("Mean = %v", got)
+	}
+	if MeanAbs(nil) != 0 || Mean(nil) != 0 {
+		t.Error("empty slices should give 0")
+	}
+}
+
+func TestFprintJSON(t *testing.T) {
+	tb := &Table{
+		Title:  "j",
+		Header: []string{"a", "b"},
+	}
+	tb.AddRow("x", "1")
+	tb.AddRow("y") // short row: missing cells simply absent
+	tb.AddNote("n")
+	var buf strings.Builder
+	if err := tb.FprintJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Title string              `json:"title"`
+		Rows  []map[string]string `json:"rows"`
+		Notes []string            `json:"notes"`
+	}
+	if err := json.Unmarshal([]byte(buf.String()), &doc); err != nil {
+		t.Fatalf("output is not JSON: %v", err)
+	}
+	if doc.Title != "j" || len(doc.Rows) != 2 || doc.Rows[0]["a"] != "x" || doc.Rows[0]["b"] != "1" {
+		t.Errorf("doc %+v", doc)
+	}
+	if len(doc.Notes) != 1 || doc.Notes[0] != "n" {
+		t.Errorf("notes %v", doc.Notes)
+	}
+}

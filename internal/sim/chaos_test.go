@@ -1,0 +1,180 @@
+package sim_test
+
+import (
+	"testing"
+
+	"depburst/internal/cpu"
+	"depburst/internal/jvm"
+	"depburst/internal/kernel"
+	"depburst/internal/rng"
+	"depburst/internal/sim"
+	"depburst/internal/trace"
+	"depburst/internal/units"
+)
+
+// chaosWorkload exercises every primitive the simulator offers with
+// randomised structure: random thread counts, random mixes of compute,
+// allocation, locking, barriers, condition variables and sleeps. It exists
+// to soak-test the kernel/JVM invariants under schedules no benchmark
+// produces.
+type chaosWorkload struct {
+	seed    uint64
+	threads int
+	items   int
+}
+
+func (w chaosWorkload) Name() string { return "chaos" }
+
+func (w chaosWorkload) Setup(m *sim.Machine) {
+	var (
+		mu     kernel.Mutex
+		mu2    kernel.Mutex
+		cond   kernel.Cond
+		tokens int
+	)
+	barrier := kernel.NewBarrier(w.threads)
+	done := kernel.NewBarrier(w.threads + 1)
+
+	m.Kern.Spawn("chaos-main", kernel.ClassApp, -1, func(e *kernel.Env) {
+		for i := 0; i < w.threads; i++ {
+			tid := i
+			m.Kern.Spawn("chaos", kernel.ClassApp, -1, func(e *kernel.Env) {
+				w.body(e, m, tid, &mu, &mu2, &cond, &tokens, barrier)
+				e.BarrierWait(done)
+			})
+		}
+		e.BarrierWait(done)
+	})
+}
+
+func (w chaosWorkload) body(e *kernel.Env, m *sim.Machine, tid int,
+	mu, mu2 *kernel.Mutex, cond *kernel.Cond, tokens *int, barrier *kernel.Barrier) {
+	r := rng.New(w.seed).Fork(uint64(tid))
+	tl := &jvm.TLAB{}
+	var blk cpu.Block
+	prof := trace.Profile{
+		IPC: 1.5 + r.Float64(), LoadsPerKI: 5 + 10*r.Float64(),
+		StoresPerKI: 3 * r.Float64(), DepFrac: 0.4 * r.Float64(),
+		Addr: trace.RandomRegion{Base: 1 << 45, Size: 4 << 20},
+	}
+	for i := 0; i < w.items; i++ {
+		m.JVM.Safepoint(e)
+		// Barriers need every thread to arrive the same number of
+		// times, so they run on a fixed schedule; everything else is
+		// randomised per thread.
+		if i%16 == 7 {
+			e.BarrierWait(barrier)
+			continue
+		}
+		switch r.Intn(6) {
+		case 0, 1, 2:
+			trace.FillBlock(&blk, prof, 1000+r.Int63n(8000), r)
+			e.Compute(&blk)
+		case 3:
+			m.JVM.Alloc(e, tl, 256+r.Int63n(8192))
+		case 4:
+			e.Lock(mu)
+			trace.FillBlock(&blk, prof, 500+r.Int63n(1500), r)
+			e.Compute(&blk)
+			if r.Bool(0.3) {
+				e.Lock(mu2) // nested, fixed order: no deadlock
+				e.Unlock(mu2)
+			}
+			e.Unlock(mu)
+		case 5:
+			e.Lock(mu2)
+			*tokens++
+			e.CondSignal(cond)
+			e.Unlock(mu2)
+		}
+	}
+}
+
+func TestChaosSoak(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test")
+	}
+	for _, seed := range []uint64{7, 99, 12345} {
+		seed := seed
+		cfg := sim.DefaultConfig()
+		cfg.Kernel.ValidateBlocks = true
+		cfg.Seed = seed
+		w := chaosWorkload{seed: seed, threads: 4, items: 300}
+		res, err := sim.New(cfg).Run(w)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+
+		// Conservation: epoch slices must account for exactly the
+		// threads' counters.
+		var sliced, total cpu.Counters
+		for _, ep := range res.Epochs {
+			if ep.End < ep.Start {
+				t.Fatalf("seed %d: inverted epoch", seed)
+			}
+			for _, sl := range ep.Slices {
+				sliced.Add(sl.Delta)
+			}
+		}
+		for _, th := range res.Threads {
+			total.Add(th.C)
+		}
+		if sliced != total {
+			t.Fatalf("seed %d: epoch slicing lost work", seed)
+		}
+
+		// Determinism: the same chaos replays identically.
+		res2, err := sim.New(cfg).Run(w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res2.Time != res.Time || res2.Energy != res.Energy {
+			t.Fatalf("seed %d: nondeterministic chaos (%v/%v vs %v/%v)",
+				seed, res.Time, res.Energy, res2.Time, res2.Energy)
+		}
+	}
+}
+
+func TestChaosSurvivesDVFS(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test")
+	}
+	// Random frequency changes every quantum must not break anything.
+	cfg := sim.DefaultConfig()
+	cfg.Freq = 4000
+	m := sim.New(cfg)
+	r := rng.New(42)
+	states := []units.Freq{1000, 1500, 2250, 3000, 4000}
+	m.SetGovernor(func(_ *sim.Machine, _ sim.QuantumSample) units.Freq {
+		return states[r.Intn(len(states))]
+	})
+	res, err := m.Run(chaosWorkload{seed: 5, threads: 5, items: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Transitions == 0 {
+		t.Error("no transitions under a random governor")
+	}
+}
+
+// deadlockWorkload parks its only thread forever.
+type deadlockWorkload struct{ fu kernel.Futex }
+
+func (*deadlockWorkload) Name() string { return "deadlock" }
+
+func (w *deadlockWorkload) Setup(m *sim.Machine) {
+	m.Kern.Spawn("stuck", kernel.ClassApp, -1, func(e *kernel.Env) {
+		e.ParkIf(&w.fu, nil)
+	})
+}
+
+func TestDeadlockReportedNotHung(t *testing.T) {
+	// The sampling quantum must not keep a deadlocked simulation alive
+	// forever: the machine stops sampling after a bounded idle period and
+	// the kernel reports the stuck threads.
+	cfg := sim.DefaultConfig()
+	_, err := sim.New(cfg).Run(&deadlockWorkload{})
+	if err == nil {
+		t.Fatal("deadlocked run returned no error")
+	}
+}

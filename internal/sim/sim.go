@@ -1,0 +1,390 @@
+// Package sim assembles the full simulated machine — cores, memory
+// hierarchy, kernel, managed runtime, and power meter — and runs workloads
+// on it, producing the observations (per-thread counters, synchronization
+// epochs, per-quantum samples, energy) that predictors and the energy
+// manager consume.
+package sim
+
+import (
+	"depburst/internal/cpu"
+	"depburst/internal/event"
+	"depburst/internal/jvm"
+	"depburst/internal/kernel"
+	"depburst/internal/mem"
+	"depburst/internal/power"
+	"depburst/internal/rng"
+	"depburst/internal/units"
+)
+
+// Config describes one simulated machine and run.
+type Config struct {
+	Cores   int
+	Core    cpu.Config
+	Hier    mem.HierarchyConfig
+	Kernel  kernel.Config
+	JVM     jvm.Config
+	Power   power.Config
+	Freq    units.Freq // initial (and, without a governor, only) frequency
+	Quantum units.Time // sampling and DVFS-decision interval
+	// TransitionLatency is the cost of one DVFS transition (paper: 2 µs).
+	TransitionLatency units.Time
+	Seed              uint64
+}
+
+// DefaultConfig mirrors the paper's Table II quad-core machine with the
+// scheduling quantum scaled to the compressed time scale (5 ms → 50 µs).
+func DefaultConfig() Config {
+	return Config{
+		Cores:   4,
+		Core:    cpu.DefaultConfig(),
+		Hier:    mem.DefaultHierarchyConfig(4),
+		Kernel:  kernel.DefaultConfig(),
+		JVM:     jvm.DefaultConfig(),
+		Power:   power.DefaultConfig(),
+		Freq:    1000 * units.MHz,
+		Quantum: 50 * units.Microsecond,
+		// The paper's 2 us transition cost, scaled with the ~100x time
+		// compression (like the quantum) so transitions keep the same
+		// relative weight per interval.
+		TransitionLatency: 20 * units.Nanosecond,
+		Seed:              1,
+	}
+}
+
+// Workload is anything that can populate a machine with threads.
+type Workload interface {
+	Name() string
+	Setup(m *Machine)
+}
+
+// Governor decides the chip-wide frequency for the next quantum, given the
+// sample just collected. Returning the current frequency keeps it
+// unchanged.
+type Governor func(m *Machine, s QuantumSample) units.Freq
+
+// CoreGovernor decides each core's frequency for the next quantum; the
+// returned slice is indexed by core (nil keeps everything unchanged).
+type CoreGovernor func(m *Machine, s QuantumSample) []units.Freq
+
+// QuantumSample is the per-quantum observation used for energy metering
+// and DVFS decisions.
+type QuantumSample struct {
+	Start, End units.Time
+	Freq       units.Freq
+	// Delta aggregates all threads' counter deltas over the quantum.
+	Delta cpu.Counters
+	// EpochLo/EpochHi bound the recorder epochs that ended inside this
+	// quantum: Epochs()[EpochLo:EpochHi].
+	EpochLo, EpochHi int
+	DRAMAccesses     uint64
+	Energy           units.Energy
+	// PerCore holds each core's frequency and counter deltas over the
+	// quantum, for per-core DVFS governors.
+	PerCore []CoreSample
+}
+
+// CoreSample is one core's share of a quantum.
+type CoreSample struct {
+	Freq  units.Freq
+	Delta cpu.Counters
+}
+
+// ThreadResult is one thread's lifetime and final counters.
+type ThreadResult struct {
+	ID         kernel.ThreadID
+	Name       string
+	Class      kernel.Class
+	Start, End units.Time
+	C          cpu.Counters
+}
+
+// DRAMStats summarises memory-system behaviour.
+type DRAMStats struct {
+	Reads, Writes                uint64
+	RowHits, RowMisses, Conflict uint64
+	AvgLatency                   units.Time
+}
+
+// Result is everything observed in one run.
+type Result struct {
+	Workload string
+	Freq     units.Freq
+	// Time is application completion time including DVFS transition
+	// overhead.
+	Time               units.Time
+	Threads            []ThreadResult
+	Epochs             []kernel.Epoch
+	Marks              []kernel.Mark
+	GC                 jvm.Stats
+	Energy             units.Energy
+	Samples            []QuantumSample
+	Transitions        int
+	TransitionOverhead units.Time
+	DRAM               DRAMStats
+}
+
+// TotalCounters sums all threads' counters.
+func (r *Result) TotalCounters() cpu.Counters {
+	var c cpu.Counters
+	for _, t := range r.Threads {
+		c.Add(t.C)
+	}
+	return c
+}
+
+// Machine is one assembled simulated system.
+type Machine struct {
+	cfg  Config
+	Eng  *event.Engine
+	Hier *mem.Hierarchy
+	// Clocks holds one clock per core; with chip-wide DVFS they always
+	// agree, while SetCoreFreq lets them diverge (per-core DVFS).
+	Clocks []*units.Clock
+	Cores  []*cpu.Core
+	Kern   *kernel.Kernel
+	JVM    *jvm.JVM
+	Power  *power.Model
+	Rng    *rng.Source
+
+	governor     Governor
+	coreGovernor CoreGovernor
+	freq         units.Freq
+
+	samples     []QuantumSample
+	energy      units.Energy
+	transitions int
+	overhead    units.Time
+	tenants     int
+
+	lastCtr      cpu.Counters
+	lastCoreCtr  []cpu.Counters
+	lastDRAM     uint64
+	lastEpochIdx int
+	lastSampleAt units.Time
+	idleQuanta   int
+}
+
+// maxIdleQuanta bounds how many consecutive quanta may pass with zero
+// application progress before the machine declares the workload hung and
+// stops sampling, letting the kernel's deadlock detection report the stuck
+// threads instead of spinning forever.
+const maxIdleQuanta = 10_000
+
+// New assembles a machine from cfg. The JVM and its service threads are
+// created immediately so workload setup can allocate.
+func New(cfg Config) *Machine {
+	if cfg.Cores <= 0 {
+		panic("sim: need at least one core")
+	}
+	cfg.Hier.Cores = cfg.Cores
+	eng := event.New()
+	hier := mem.NewHierarchy(cfg.Hier)
+	clocks := make([]*units.Clock, cfg.Cores)
+	cores := make([]*cpu.Core, cfg.Cores)
+	for i := range cores {
+		clocks[i] = units.NewClock(cfg.Freq)
+		cores[i] = cpu.NewCore(i, cfg.Core, clocks[i], hier)
+	}
+	kern := kernel.New(eng, cores, cfg.Kernel)
+	r := rng.New(cfg.Seed)
+	m := &Machine{
+		cfg:         cfg,
+		Eng:         eng,
+		Hier:        hier,
+		Clocks:      clocks,
+		Cores:       cores,
+		Kern:        kern,
+		Power:       power.MustModel(cfg.Power),
+		Rng:         r,
+		freq:        cfg.Freq,
+		lastCoreCtr: make([]cpu.Counters, cfg.Cores),
+	}
+	m.JVM = jvm.New(kern, hier, cfg.JVM, r.Fork(0x14))
+	return m
+}
+
+// NewJVM creates an additional managed-runtime instance (a co-running
+// tenant) in its own kernel thread group. Threads of that tenant must be
+// spawned with Kern.SpawnGroup using the returned instance's Group.
+func (m *Machine) NewJVM(cfg jvm.Config) *jvm.JVM {
+	m.tenants++
+	return jvm.NewGroup(m.Kern, m.Hier, cfg, m.Rng.Fork(0x14+uint64(m.tenants)), m.tenants)
+}
+
+// Config returns the machine's configuration.
+func (m *Machine) Config() Config { return m.cfg }
+
+// Freq returns the chip-wide frequency setting (with per-core DVFS, the
+// frequency of core 0).
+func (m *Machine) Freq() units.Freq { return m.freq }
+
+// CoreFreq returns one core's current frequency.
+func (m *Machine) CoreFreq(core int) units.Freq { return m.Clocks[core].Freq() }
+
+// SetGovernor installs the per-quantum chip-wide DVFS policy.
+func (m *Machine) SetGovernor(g Governor) { m.governor = g }
+
+// SetCoreGovernor installs a per-quantum per-core DVFS policy (the paper's
+// future-work direction). Only one governor kind may be installed.
+func (m *Machine) SetCoreGovernor(g CoreGovernor) { m.coreGovernor = g }
+
+// SetFreq applies a chip-wide DVFS transition, charging the transition
+// latency as reported overhead and energy.
+func (m *Machine) SetFreq(f units.Freq) {
+	if f == m.freq && m.CoreFreq(0) == f {
+		return
+	}
+	for _, c := range m.Clocks {
+		c.SetFreq(f)
+	}
+	m.freq = f
+	m.chargeTransition(f, m.cfg.Cores)
+}
+
+// SetCoreFreq applies a DVFS transition to a single core.
+func (m *Machine) SetCoreFreq(core int, f units.Freq) {
+	if m.Clocks[core].Freq() == f {
+		return
+	}
+	m.Clocks[core].SetFreq(f)
+	if core == 0 {
+		m.freq = f
+	}
+	m.chargeTransition(f, 1)
+}
+
+func (m *Machine) chargeTransition(f units.Freq, cores int) {
+	m.transitions++
+	m.overhead += m.cfg.TransitionLatency
+	m.energy += units.EnergyFromPower(
+		float64(cores)*m.Power.CorePower(f, power.Activity{BusyFrac: 1, IPCFrac: 0}),
+		m.cfg.TransitionLatency)
+}
+
+// Run executes the workload to completion and returns the observations.
+func (m *Machine) Run(w Workload) (Result, error) {
+	w.Setup(m)
+	m.Eng.Schedule(m.cfg.Quantum, m.quantum)
+	_, err := m.Kern.Run()
+	m.sample(m.Kern.AppEndTime()) // close the final partial quantum
+
+	res := Result{
+		Workload:           w.Name(),
+		Freq:               m.cfg.Freq,
+		Time:               m.Kern.AppEndTime() + m.overhead,
+		Epochs:             m.Kern.Recorder().Epochs(),
+		Marks:              m.Kern.Recorder().Marks(),
+		GC:                 m.JVM.Stats(),
+		Energy:             m.energy,
+		Samples:            m.samples,
+		Transitions:        m.transitions,
+		TransitionOverhead: m.overhead,
+	}
+	for _, t := range m.Kern.Threads() {
+		res.Threads = append(res.Threads, ThreadResult{
+			ID:    t.ID(),
+			Name:  t.Name(),
+			Class: t.Class(),
+			Start: t.SpawnTime(),
+			End:   t.EndTime(),
+			C:     t.Counters(),
+		})
+	}
+	d := m.Hier.DRAM()
+	res.DRAM = DRAMStats{
+		Reads: d.Reads, Writes: d.Writes,
+		RowHits: d.RowHits, RowMisses: d.RowMisses, Conflict: d.Conflicts,
+		AvgLatency: d.AvgLatency(),
+	}
+	return res, err
+}
+
+// quantum is the self-rescheduling sampling event.
+func (m *Machine) quantum(now units.Time) {
+	s := m.sample(now)
+	if m.governor != nil {
+		if f := m.governor(m, s); f != m.freq && f > 0 {
+			m.SetFreq(f)
+		}
+	}
+	if m.coreGovernor != nil {
+		if fs := m.coreGovernor(m, s); fs != nil {
+			for i, f := range fs {
+				if i < len(m.Clocks) && f > 0 {
+					m.SetCoreFreq(i, f)
+				}
+			}
+		}
+	}
+	if s.Delta.Active == 0 {
+		m.idleQuanta++
+	} else {
+		m.idleQuanta = 0
+	}
+	if m.Kern.LiveAppThreads() > 0 && m.idleQuanta < maxIdleQuanta {
+		m.Eng.Schedule(now+m.cfg.Quantum, m.quantum)
+	}
+}
+
+// sample closes the interval [lastSampleAt, now], metering energy with
+// each core at its own frequency and activity.
+func (m *Machine) sample(now units.Time) QuantumSample {
+	if now <= m.lastSampleAt {
+		if len(m.samples) > 0 {
+			return m.samples[len(m.samples)-1]
+		}
+		return QuantumSample{}
+	}
+	m.Kern.SyncActive()
+	var total cpu.Counters
+	for _, t := range m.Kern.Threads() {
+		total.Add(t.Counters())
+	}
+	delta := total.Sub(m.lastCtr)
+	m.lastCtr = total
+
+	d := m.Hier.DRAM()
+	dram := d.Reads + d.Writes
+	dramDelta := dram - m.lastDRAM
+	m.lastDRAM = dram
+
+	dur := now - m.lastSampleAt
+
+	// Per-core activity and energy.
+	perCore := make([]CoreSample, len(m.Cores))
+	var watts float64
+	for i, c := range m.Cores {
+		cur := c.Counters()
+		cd := cur.Sub(m.lastCoreCtr[i])
+		m.lastCoreCtr[i] = cur
+		f := m.Clocks[i].Freq()
+		busy := float64(cd.Active) / float64(dur)
+		var ipcFrac float64
+		if cd.Active > 0 {
+			cycles := cd.Active.Seconds() * f.Hz()
+			ipcFrac = float64(cd.Instrs) / (cycles * float64(m.cfg.Core.DispatchWidth))
+		}
+		watts += m.Power.CorePower(f, power.Activity{BusyFrac: busy, IPCFrac: ipcFrac})
+		perCore[i] = CoreSample{Freq: f, Delta: cd}
+	}
+	watts += m.Power.UncorePower()
+	e := units.EnergyFromPower(watts, dur) +
+		units.Energy(dramDelta)*m.Power.Config().DRAMAccess
+	m.energy += e
+
+	epochHi := len(m.Kern.Recorder().Epochs())
+	s := QuantumSample{
+		Start: m.lastSampleAt, End: now,
+		Freq:         m.freq,
+		Delta:        delta,
+		EpochLo:      m.lastEpochIdx,
+		EpochHi:      epochHi,
+		DRAMAccesses: dramDelta,
+		Energy:       e,
+		PerCore:      perCore,
+	}
+	m.lastEpochIdx = epochHi
+	m.lastSampleAt = now
+	m.samples = append(m.samples, s)
+	return s
+}

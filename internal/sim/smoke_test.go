@@ -1,0 +1,35 @@
+package sim_test
+
+import (
+	"testing"
+
+	"depburst/internal/dacapo"
+	"depburst/internal/sim"
+	"depburst/internal/units"
+)
+
+func TestSmokeAllBenchmarks(t *testing.T) {
+	for _, spec := range dacapo.Suite() {
+		spec := spec
+		t.Run(spec.Name, func(t *testing.T) {
+			cfg := sim.DefaultConfig()
+			spec.Configure(&cfg)
+			m := sim.New(cfg)
+			res, err := m.Run(dacapo.New(spec))
+			if err != nil {
+				t.Fatalf("run: %v", err)
+			}
+			tot := res.TotalCounters()
+			gcFrac := float64(res.GC.GCTime) / float64(res.Time)
+			t.Logf("%-12s time=%v gc=%v (%.1f%%) minor=%d major=%d epochs=%d instrs=%.1fM dramR=%d dramW=%d alloc=%.1fMB sqfull=%v crit=%v active=%v l2=%d l3=%d dram=%d avgLat=%v",
+				spec.Name, res.Time, res.GC.GCTime, gcFrac*100,
+				res.GC.MinorGCs, res.GC.MajorGCs, len(res.Epochs),
+				float64(tot.Instrs)/1e6, res.DRAM.Reads, res.DRAM.Writes,
+				float64(res.GC.AllocBytes)/1e6, tot.SQFull, tot.CritNS, tot.Active,
+				tot.LoadsL2, tot.LoadsL3, tot.LoadsDRAM, res.DRAM.AvgLatency)
+			if res.Time <= 0 || res.Time > 500*units.Millisecond {
+				t.Errorf("implausible time %v", res.Time)
+			}
+		})
+	}
+}

@@ -1,0 +1,225 @@
+// Package units provides the exact integer time, frequency, and energy
+// arithmetic used throughout the simulator.
+//
+// All simulated time is kept in integer picoseconds so that event ordering
+// is exact and runs are bit-reproducible. Core-local cycle counts are
+// converted to picoseconds through a Clock, which carries the division
+// remainder forward so no time is ever lost to rounding, no matter how many
+// partial conversions happen.
+package units
+
+import "fmt"
+
+// Time is a simulated duration or instant in picoseconds.
+type Time int64
+
+// Common time units expressed in picoseconds.
+const (
+	Picosecond  Time = 1
+	Nanosecond  Time = 1000
+	Microsecond Time = 1000 * Nanosecond
+	Millisecond Time = 1000 * Microsecond
+	Second      Time = 1000 * Millisecond
+)
+
+// Nanoseconds returns t as a float64 number of nanoseconds.
+func (t Time) Nanoseconds() float64 { return float64(t) / float64(Nanosecond) }
+
+// Microseconds returns t as a float64 number of microseconds.
+func (t Time) Microseconds() float64 { return float64(t) / float64(Microsecond) }
+
+// Milliseconds returns t as a float64 number of milliseconds.
+func (t Time) Milliseconds() float64 { return float64(t) / float64(Millisecond) }
+
+// Seconds returns t as a float64 number of seconds.
+func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
+
+// String formats the time with an auto-selected unit.
+func (t Time) String() string {
+	switch {
+	case t < 0:
+		return "-" + (-t).String()
+	case t < Nanosecond:
+		return fmt.Sprintf("%dps", int64(t))
+	case t < Microsecond:
+		return fmt.Sprintf("%.3fns", t.Nanoseconds())
+	case t < Millisecond:
+		return fmt.Sprintf("%.3fus", t.Microseconds())
+	case t < Second:
+		return fmt.Sprintf("%.3fms", t.Milliseconds())
+	default:
+		return fmt.Sprintf("%.3fs", t.Seconds())
+	}
+}
+
+// MaxTime is the largest representable instant; used as "never".
+const MaxTime Time = 1<<63 - 1
+
+// Freq is a clock frequency in megahertz. Integer MHz is exact for every
+// frequency this repository uses (the DVFS step is 125 MHz).
+type Freq int64
+
+// Common frequencies.
+const (
+	MHz Freq = 1
+	GHz Freq = 1000
+)
+
+// Hz returns the frequency in hertz.
+func (f Freq) Hz() float64 { return float64(f) * 1e6 }
+
+// GHzF returns the frequency as a float64 number of gigahertz.
+func (f Freq) GHzF() float64 { return float64(f) / 1000 }
+
+func (f Freq) String() string {
+	if f%GHz == 0 {
+		return fmt.Sprintf("%dGHz", int64(f/GHz))
+	}
+	return fmt.Sprintf("%.3fGHz", f.GHzF())
+}
+
+// picosecondsPerSecond = 1e12; cycles at f MHz per second = f*1e6.
+// Period numerator/denominator: period = 1e12/(f*1e6) = 1e6/f ps.
+const periodNumerator = 1_000_000 // picoseconds per (MHz·cycle)
+
+// Period returns the duration of one cycle at frequency f, truncated to a
+// whole number of picoseconds. Use Clock for exact accumulated conversion.
+func (f Freq) Period() Time {
+	if f <= 0 {
+		return 0
+	}
+	return Time(periodNumerator / int64(f))
+}
+
+// CyclesToTime converts a cycle count at frequency f to time, truncating
+// the sub-picosecond remainder. Exact when (cycles*1e6)%f == 0.
+func (f Freq) CyclesToTime(cycles int64) Time {
+	if f <= 0 {
+		return 0
+	}
+	return Time(cycles * periodNumerator / int64(f))
+}
+
+// TimeToCycles converts a duration to a whole number of cycles at f,
+// truncating any partial cycle.
+func (f Freq) TimeToCycles(t Time) int64 {
+	if f <= 0 {
+		return 0
+	}
+	return int64(t) * int64(f) / periodNumerator
+}
+
+// Clock converts between core-local cycles and global picosecond time for a
+// core whose frequency may change at runtime (DVFS). It carries the exact
+// sub-picosecond remainder so repeated conversions never drift.
+//
+// The zero value is a stopped clock; use NewClock.
+type Clock struct {
+	freq Freq
+	// remainder of the last conversion, in units of (1/freq) picosecond
+	// fractions: rem/freq picoseconds are owed to the next advance.
+	rem int64
+}
+
+// NewClock returns a clock running at f.
+func NewClock(f Freq) *Clock {
+	if f <= 0 {
+		panic("units: non-positive clock frequency")
+	}
+	return &Clock{freq: f}
+}
+
+// Freq returns the current frequency.
+func (c *Clock) Freq() Freq { return c.freq }
+
+// SetFreq changes the clock frequency. The carried remainder is rescaled to
+// the new frequency so that at most one picosecond of accumulated phase is
+// perturbed per transition.
+func (c *Clock) SetFreq(f Freq) {
+	if f <= 0 {
+		panic("units: non-positive clock frequency")
+	}
+	if f == c.freq {
+		return
+	}
+	// rem/oldFreq ps owed == rem*newFreq/oldFreq in new fraction units.
+	c.rem = c.rem * int64(f) / int64(c.freq)
+	c.freq = f
+}
+
+// Advance converts n cycles at the current frequency into picoseconds,
+// including any remainder carried from earlier calls. n must be >= 0.
+func (c *Clock) Advance(n int64) Time {
+	if n < 0 {
+		panic("units: negative cycle advance")
+	}
+	total := n*periodNumerator + c.rem
+	t := total / int64(c.freq)
+	c.rem = total % int64(c.freq)
+	return Time(t)
+}
+
+// CyclesIn reports how many whole cycles at the current frequency fit in d.
+func (c *Clock) CyclesIn(d Time) int64 {
+	if d <= 0 {
+		return 0
+	}
+	return int64(d) * int64(c.freq) / periodNumerator
+}
+
+// Energy is an amount of energy in picojoules.
+type Energy int64
+
+// Common energy units.
+const (
+	Picojoule  Energy = 1
+	Nanojoule  Energy = 1000
+	Microjoule Energy = 1000 * Nanojoule
+	Millijoule Energy = 1000 * Microjoule
+	Joule      Energy = 1000 * Millijoule
+)
+
+// Joules returns e as a float64 number of joules.
+func (e Energy) Joules() float64 { return float64(e) / float64(Joule) }
+
+// Millijoules returns e as a float64 number of millijoules.
+func (e Energy) Millijoules() float64 { return float64(e) / float64(Millijoule) }
+
+func (e Energy) String() string {
+	switch {
+	case e < 0:
+		return "-" + (-e).String()
+	case e < Nanojoule:
+		return fmt.Sprintf("%dpJ", int64(e))
+	case e < Microjoule:
+		return fmt.Sprintf("%.3fnJ", float64(e)/float64(Nanojoule))
+	case e < Millijoule:
+		return fmt.Sprintf("%.3fuJ", float64(e)/float64(Microjoule))
+	case e < Joule:
+		return fmt.Sprintf("%.3fmJ", e.Millijoules())
+	default:
+		return fmt.Sprintf("%.3fJ", e.Joules())
+	}
+}
+
+// EnergyFromPower integrates a constant power (watts) over a duration.
+// 1 W over 1 ps = 1 pJ, so pJ = watts * ps.
+func EnergyFromPower(watts float64, d Time) Energy {
+	return Energy(watts * float64(d))
+}
+
+// MinTime returns the smaller of a and b.
+func MinTime(a, b Time) Time {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// MaxTimeOf returns the larger of a and b.
+func MaxTimeOf(a, b Time) Time {
+	if a > b {
+		return a
+	}
+	return b
+}

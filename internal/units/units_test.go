@@ -1,0 +1,157 @@
+package units
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestTimeString(t *testing.T) {
+	cases := []struct {
+		in   Time
+		want string
+	}{
+		{0, "0ps"},
+		{999, "999ps"},
+		{Nanosecond, "1.000ns"},
+		{1500 * Nanosecond, "1.500us"},
+		{Millisecond, "1.000ms"},
+		{2500 * Millisecond, "2.500s"},
+		{-Nanosecond, "-1.000ns"},
+	}
+	for _, c := range cases {
+		if got := c.in.String(); got != c.want {
+			t.Errorf("Time(%d).String() = %q, want %q", int64(c.in), got, c.want)
+		}
+	}
+}
+
+func TestFreqPeriod(t *testing.T) {
+	if got := (1000 * MHz).Period(); got != 1000*Picosecond {
+		t.Errorf("1 GHz period = %v, want 1000ps", got)
+	}
+	if got := (4000 * MHz).Period(); got != 250*Picosecond {
+		t.Errorf("4 GHz period = %v, want 250ps", got)
+	}
+	if got := (2 * GHz).Period(); got != 500*Picosecond {
+		t.Errorf("2 GHz period = %v, want 500ps", got)
+	}
+}
+
+func TestCyclesToTimeExact(t *testing.T) {
+	// At 1 GHz, n cycles is exactly n ns.
+	if got := (1 * GHz).CyclesToTime(12345); got != 12345*Nanosecond {
+		t.Errorf("1 GHz, 12345 cycles = %v", got)
+	}
+	// Round trip through TimeToCycles.
+	f := 3 * GHz
+	for _, n := range []int64{0, 1, 3, 999, 1_000_000} {
+		d := f.CyclesToTime(n)
+		back := f.TimeToCycles(d)
+		if back != n && back != n-1 { // truncation may lose <1 cycle
+			t.Errorf("round trip %d cycles @%v -> %v -> %d", n, f, d, back)
+		}
+	}
+}
+
+func TestClockCarriesRemainder(t *testing.T) {
+	// 3 GHz: one cycle is 333.33.. ps. 3 cycles must be exactly 1000 ps,
+	// regardless of how the advances are split.
+	c := NewClock(3 * GHz)
+	total := c.Advance(1) + c.Advance(1) + c.Advance(1)
+	if total != 1000 {
+		t.Errorf("3 cycles at 3 GHz = %dps, want 1000", int64(total))
+	}
+
+	// Property: for any frequency and any split of n cycles, the summed
+	// time differs from the bulk conversion by at most one picosecond.
+	err := quick.Check(func(fRaw uint16, parts []uint8) bool {
+		f := Freq(fRaw%4000) + 1
+		c1 := NewClock(f)
+		c2 := NewClock(f)
+		var split Time
+		var n int64
+		for _, p := range parts {
+			split += c1.Advance(int64(p))
+			n += int64(p)
+		}
+		bulk := c2.Advance(n)
+		diff := split - bulk
+		return diff == 0
+	}, nil)
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+func TestClockSetFreq(t *testing.T) {
+	c := NewClock(1000 * MHz)
+	c.Advance(10)
+	c.SetFreq(2000 * MHz)
+	if got := c.Advance(2); got != 1000 {
+		t.Errorf("2 cycles at 2 GHz = %dps, want 1000", int64(got))
+	}
+	c.SetFreq(2000 * MHz) // no-op
+	if c.Freq() != 2000*MHz {
+		t.Errorf("freq = %v", c.Freq())
+	}
+}
+
+func TestClockPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NewClock(0) did not panic")
+		}
+	}()
+	NewClock(0)
+}
+
+func TestClockNegativeAdvancePanics(t *testing.T) {
+	c := NewClock(GHz)
+	defer func() {
+		if recover() == nil {
+			t.Error("Advance(-1) did not panic")
+		}
+	}()
+	c.Advance(-1)
+}
+
+func TestCyclesIn(t *testing.T) {
+	c := NewClock(2 * GHz)
+	if got := c.CyclesIn(1000 * Picosecond); got != 2 {
+		t.Errorf("CyclesIn(1000ps)@2GHz = %d, want 2", got)
+	}
+	if got := c.CyclesIn(-5); got != 0 {
+		t.Errorf("CyclesIn(negative) = %d, want 0", got)
+	}
+}
+
+func TestEnergy(t *testing.T) {
+	// 1 W for 1 ms = 1 mJ.
+	if got := EnergyFromPower(1.0, Millisecond); got != Millijoule {
+		t.Errorf("1W x 1ms = %v, want 1mJ", got)
+	}
+	if got := (1500 * Microjoule).String(); got != "1.500mJ" {
+		t.Errorf("String = %q", got)
+	}
+	if got := Energy(2 * Joule).Joules(); got != 2.0 {
+		t.Errorf("Joules = %v", got)
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	if MinTime(3, 5) != 3 || MinTime(5, 3) != 3 {
+		t.Error("MinTime broken")
+	}
+	if MaxTimeOf(3, 5) != 5 || MaxTimeOf(5, 3) != 5 {
+		t.Error("MaxTimeOf broken")
+	}
+}
+
+func TestFreqString(t *testing.T) {
+	if got := (4 * GHz).String(); got != "4GHz" {
+		t.Errorf("4GHz String = %q", got)
+	}
+	if got := (1125 * MHz).String(); got != "1.125GHz" {
+		t.Errorf("1125MHz String = %q", got)
+	}
+}

@@ -1,0 +1,140 @@
+// Package viz renders run timelines as standalone SVG documents: the
+// frequency the governor chose per quantum, garbage-collection pauses, and
+// per-core activity — the visual analogue of the paper's Figure 5.
+// Everything is generated with the standard library only.
+package viz
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"depburst/internal/sim"
+	"depburst/internal/units"
+)
+
+// Layout constants (pixels).
+const (
+	width      = 960
+	laneH      = 120
+	coreLaneH  = 26
+	marginL    = 70
+	marginR    = 20
+	marginT    = 28
+	laneGap    = 26
+	axisColor  = "#888"
+	freqColor  = "#2563eb"
+	gcColor    = "#dc2626"
+	busyColor  = "#16a34a"
+	labelStyle = "font-family:sans-serif;font-size:12px;fill:#333"
+)
+
+// Timeline renders res as an SVG document.
+func Timeline(w io.Writer, res *sim.Result) error {
+	if len(res.Samples) == 0 {
+		return fmt.Errorf("viz: result has no samples to draw")
+	}
+	total := res.Samples[len(res.Samples)-1].End
+	if total <= 0 {
+		return fmt.Errorf("viz: empty timeline")
+	}
+	cores := 0
+	if len(res.Samples[0].PerCore) > 0 {
+		cores = len(res.Samples[0].PerCore)
+	}
+	height := marginT + laneH + laneGap + cores*coreLaneH + 40
+
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d">`+"\n",
+		width, height, width, height)
+	fmt.Fprintf(&b, `<rect width="%d" height="%d" fill="white"/>`+"\n", width, height)
+	fmt.Fprintf(&b, `<text x="%d" y="18" style="%s">%s — %v, %s, %d transitions</text>`+"\n",
+		marginL, labelStyle, esc(res.Workload), res.Time, res.Energy, res.Transitions)
+
+	x := func(t units.Time) float64 {
+		return marginL + float64(t)/float64(total)*(width-marginL-marginR)
+	}
+
+	// Frequency lane: one step per sample, scaled 1-4 GHz.
+	laneTop := float64(marginT)
+	laneBot := laneTop + laneH
+	y := func(f units.Freq) float64 {
+		frac := (f.GHzF() - 1.0) / 3.0
+		if frac < 0 {
+			frac = 0
+		}
+		if frac > 1 {
+			frac = 1
+		}
+		return laneBot - frac*laneH
+	}
+	// GC pauses behind the frequency trace.
+	for _, p := range res.GC.Pauses {
+		fmt.Fprintf(&b, `<rect x="%.1f" y="%.1f" width="%.1f" height="%.1f" fill="%s" fill-opacity="0.25"/>`+"\n",
+			x(p.Start), laneTop, max1(x(p.End)-x(p.Start)), float64(laneH), gcColor)
+	}
+	// Axis labels.
+	for _, f := range []units.Freq{1000, 2000, 3000, 4000} {
+		fmt.Fprintf(&b, `<line x1="%d" y1="%.1f" x2="%d" y2="%.1f" stroke="%s" stroke-dasharray="2,4"/>`+"\n",
+			marginL, y(f), width-marginR, y(f), axisColor)
+		fmt.Fprintf(&b, `<text x="8" y="%.1f" style="%s">%v</text>`+"\n", y(f)+4, labelStyle, f)
+	}
+	// The frequency staircase.
+	var pts []string
+	for _, s := range res.Samples {
+		pts = append(pts,
+			fmt.Sprintf("%.1f,%.1f", x(s.Start), y(s.Freq)),
+			fmt.Sprintf("%.1f,%.1f", x(s.End), y(s.Freq)))
+	}
+	fmt.Fprintf(&b, `<polyline points="%s" fill="none" stroke="%s" stroke-width="1.5"/>`+"\n",
+		strings.Join(pts, " "), freqColor)
+
+	// Per-core activity lanes: opacity = busy fraction in the sample.
+	coreTop := laneBot + laneGap
+	for c := 0; c < cores; c++ {
+		top := coreTop + float64(c*coreLaneH)
+		fmt.Fprintf(&b, `<text x="8" y="%.1f" style="%s">core %d</text>`+"\n", top+coreLaneH-9, labelStyle, c)
+		for _, s := range res.Samples {
+			if c >= len(s.PerCore) {
+				continue
+			}
+			dur := s.End - s.Start
+			if dur <= 0 {
+				continue
+			}
+			busy := float64(s.PerCore[c].Delta.Active) / float64(dur)
+			if busy <= 0.01 {
+				continue
+			}
+			if busy > 1 {
+				busy = 1
+			}
+			fmt.Fprintf(&b, `<rect x="%.1f" y="%.1f" width="%.1f" height="%d" fill="%s" fill-opacity="%.2f"/>`+"\n",
+				x(s.Start), top, max1(x(s.End)-x(s.Start)), coreLaneH-4, busyColor, busy)
+		}
+	}
+
+	// Time axis.
+	axisY := float64(height - 14)
+	fmt.Fprintf(&b, `<text x="%d" y="%.1f" style="%s">0</text>`+"\n", marginL, axisY, labelStyle)
+	fmt.Fprintf(&b, `<text x="%d" y="%.1f" style="%s" text-anchor="end">%v</text>`+"\n",
+		width-marginR, axisY, labelStyle, total)
+
+	b.WriteString("</svg>\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func max1(x float64) float64 {
+	if x < 1 {
+		return 1
+	}
+	return x
+}
+
+// esc escapes the handful of XML-special characters that can appear in
+// workload names.
+func esc(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+	return r.Replace(s)
+}

@@ -1,0 +1,108 @@
+package viz
+
+import (
+	"encoding/xml"
+	"strings"
+	"testing"
+
+	"depburst/internal/cpu"
+	"depburst/internal/jvm"
+	"depburst/internal/kernel"
+	"depburst/internal/sim"
+	"depburst/internal/units"
+)
+
+func sampleResult() *sim.Result {
+	mk := func(start, end units.Time, f units.Freq, busy []float64) sim.QuantumSample {
+		s := sim.QuantumSample{Start: start, End: end, Freq: f}
+		for _, b := range busy {
+			s.PerCore = append(s.PerCore, sim.CoreSample{
+				Freq:  f,
+				Delta: cpu.Counters{Active: units.Time(float64(end-start) * b)},
+			})
+		}
+		return s
+	}
+	return &sim.Result{
+		Workload: `bench<&>"x"`,
+		Time:     300,
+		Energy:   units.Millijoule,
+		Samples: []sim.QuantumSample{
+			mk(0, 100, 4000, []float64{1, 0.5}),
+			mk(100, 200, 2000, []float64{0.8, 0}),
+			mk(200, 300, 1000, []float64{0.2, 1}),
+		},
+		GC: jvm.Stats{Pauses: []jvm.Pause{{Start: 120, End: 180}}},
+	}
+}
+
+func TestTimelineWellFormedXML(t *testing.T) {
+	var b strings.Builder
+	if err := Timeline(&b, sampleResult()); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	dec := xml.NewDecoder(strings.NewReader(out))
+	for {
+		_, err := dec.Token()
+		if err != nil {
+			if err.Error() == "EOF" {
+				break
+			}
+			t.Fatalf("output is not well-formed XML: %v\n%s", err, out)
+		}
+	}
+	for _, want := range []string{"<svg", "polyline", "core 0", "core 1", "1GHz", "4GHz"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+	// The workload name's XML specials must be escaped.
+	if strings.Contains(out, `bench<&>`) {
+		t.Error("workload name not escaped")
+	}
+}
+
+func TestTimelineGCPausesDrawn(t *testing.T) {
+	var b strings.Builder
+	Timeline(&b, sampleResult())
+	if !strings.Contains(b.String(), `fill-opacity="0.25"`) {
+		t.Error("GC pause band missing")
+	}
+}
+
+func TestTimelineRejectsEmpty(t *testing.T) {
+	var b strings.Builder
+	if err := Timeline(&b, &sim.Result{}); err == nil {
+		t.Error("empty result accepted")
+	}
+}
+
+func TestTimelineRealRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the simulator")
+	}
+	cfg := sim.DefaultConfig()
+	res, err := sim.New(cfg).Run(tiny{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	if err := Timeline(&b, &res); err != nil {
+		t.Fatal(err)
+	}
+	if len(b.String()) < 1000 {
+		t.Error("suspiciously small SVG for a real run")
+	}
+}
+
+type tiny struct{}
+
+func (tiny) Name() string { return "tiny" }
+func (tiny) Setup(m *sim.Machine) {
+	m.Kern.Spawn("t", kernel.ClassApp, -1, func(e *kernel.Env) {
+		for i := 0; i < 200; i++ {
+			e.Compute(&cpu.Block{Instrs: 10_000, IPC: 2})
+		}
+	})
+}
