@@ -104,6 +104,26 @@ func BenchmarkAblationHoldOff(b *testing.B) {
 	}
 }
 
+// BenchmarkSuitePrewarm measures the concurrent fan-out of the core
+// ground-truth matrix (suite x eval frequencies) from a cold cache — the
+// parallel experiment engine's headline path. Wall time scales down with
+// GOMAXPROCS while the table outputs stay byte-identical.
+func BenchmarkSuitePrewarm(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.NewRunner()
+		r.Prewarm(dacapo.Suite(), experiments.EvalFreqs...)
+	}
+}
+
+// BenchmarkSuitePrewarmSerial is the -j 1 baseline for BenchmarkSuitePrewarm;
+// the ratio of the two is the experiment engine's speedup on this machine.
+func BenchmarkSuitePrewarmSerial(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.NewRunnerWorkers(1)
+		r.Prewarm(dacapo.Suite(), experiments.EvalFreqs...)
+	}
+}
+
 // --- Simulator microbenchmarks -----------------------------------------
 
 // BenchmarkSimulatorRun measures full-system simulation throughput on the

@@ -1,0 +1,109 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strings"
+	"time"
+
+	"depburst/internal/experiments"
+	"depburst/internal/units"
+)
+
+// benchDoc is the machine-readable record `depburst bench` emits, the
+// anchor point of the performance trajectory: wall time of the full
+// experiment suite, speedup of the parallel engine over the serial
+// baseline, and whether the two produced byte-identical tables.
+type benchDoc struct {
+	Schema          string  `json:"schema"`
+	GOMAXPROCS      int     `json:"gomaxprocs"`
+	Workers         int     `json:"workers"`
+	StepMHz         int     `json:"step_mhz"`
+	Experiments     int     `json:"experiments"`
+	WallSeconds     float64 `json:"wall_seconds"`
+	SerialSeconds   float64 `json:"serial_seconds,omitempty"`
+	Speedup         float64 `json:"speedup,omitempty"`
+	Deterministic   *bool   `json:"deterministic,omitempty"`
+	OutputBytes     int     `json:"output_bytes"`
+	UnixTimeSeconds int64   `json:"unix_time_seconds"`
+}
+
+// cmdBench times the full experiment suite through the parallel engine
+// and, unless -baseline=false, through a serial (-j 1) runner too, checks
+// the outputs are byte-identical, and writes the result as JSON.
+func cmdBench(args []string, workers int) {
+	fs := flag.NewFlagSet("bench", flag.ExitOnError)
+	step := fs.Int("step", 500, "static sweep step in MHz for Figure 7")
+	out := fs.String("o", "BENCH_suite.json", "output file")
+	baseline := fs.Bool("baseline", true, "also run serially (-j 1) to measure speedup and verify determinism")
+	fs.Parse(args)
+
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+
+	nTables := 0
+	render := func(n int) (string, time.Duration) {
+		r := experiments.NewRunnerWorkers(n)
+		start := time.Now()
+		tables := suiteTables(r, units.Freq(*step))
+		var b strings.Builder
+		for _, t := range tables {
+			t.Fprint(&b)
+		}
+		nTables = len(tables)
+		return b.String(), time.Since(start)
+	}
+
+	fmt.Fprintf(os.Stderr, "bench: full suite, %d workers (GOMAXPROCS %d)...\n",
+		workers, runtime.GOMAXPROCS(0))
+	parText, parDur := render(workers)
+	fmt.Fprintf(os.Stderr, "bench: parallel run %.2fs\n", parDur.Seconds())
+
+	doc := benchDoc{
+		Schema:          "depburst-bench/1",
+		GOMAXPROCS:      runtime.GOMAXPROCS(0),
+		Workers:         workers,
+		StepMHz:         *step,
+		Experiments:     nTables,
+		WallSeconds:     parDur.Seconds(),
+		OutputBytes:     len(parText),
+		UnixTimeSeconds: time.Now().Unix(),
+	}
+	diverged := false
+	if *baseline {
+		fmt.Fprintf(os.Stderr, "bench: serial baseline (-j 1)...\n")
+		serText, serDur := render(1)
+		det := parText == serText
+		doc.SerialSeconds = serDur.Seconds()
+		doc.Speedup = serDur.Seconds() / parDur.Seconds()
+		doc.Deterministic = &det
+		fmt.Fprintf(os.Stderr, "bench: serial run %.2fs, speedup %.2fx, deterministic=%v\n",
+			serDur.Seconds(), doc.Speedup, det)
+		if !det {
+			fmt.Fprintln(os.Stderr, "bench: ERROR: parallel output differs from serial output")
+			diverged = true
+		}
+	}
+
+	f, err := os.Create(*out)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(doc); err != nil {
+		f.Close()
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	f.Close()
+	fmt.Printf("wrote %s\n", *out)
+	if diverged {
+		os.Exit(1)
+	}
+}

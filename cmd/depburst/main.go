@@ -13,6 +13,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
+	"strings"
 
 	"depburst/internal/core"
 	"depburst/internal/dacapo"
@@ -24,8 +26,67 @@ import (
 	"depburst/internal/viz"
 )
 
+func parseWorkers(s string) int {
+	n, err := strconv.Atoi(s)
+	if err != nil || n < 1 {
+		fmt.Fprintf(os.Stderr, "depburst: invalid worker count %q\n", s)
+		os.Exit(2)
+	}
+	return n
+}
+
+// suiteTables regenerates the full evaluation — every table and figure —
+// through one shared runner. The ground-truth matrix (suite x eval and
+// sweep frequencies) fans out over the worker pool first, so the
+// experiments afterwards are mostly assembly plus their residual governed
+// runs. Output is byte-identical at any worker count.
+func suiteTables(r *experiments.Runner, step units.Freq) []*report.Table {
+	freqs := append([]units.Freq(nil), experiments.EvalFreqs...)
+	for _, f := range experiments.SweepFreqs(step) {
+		seen := false
+		for _, g := range freqs {
+			if g == f {
+				seen = true
+				break
+			}
+		}
+		if !seen {
+			freqs = append(freqs, f)
+		}
+	}
+	r.Prewarm(dacapo.Suite(), freqs...)
+	return []*report.Table{
+		r.Table1(),
+		r.Table2(),
+		r.Fig1(),
+		r.Fig3a(),
+		r.Fig3b(),
+		r.Fig4(),
+		r.Fig6(),
+		r.Fig7(step),
+		r.EngineAblation(),
+		r.HoldOffAblation("xalan"),
+		r.QuantumAblation("xalan"),
+		r.DRAMVariabilityAblation(),
+		r.GCPolicyAblation(),
+		r.PrefetchAblation(),
+		r.SequentialBackground(),
+		r.HeapPressureSweep("lusearch"),
+		r.RegressionComparison(),
+		r.SeedSensitivity(nil),
+		r.PerCoreDVFS(0.10),
+		r.FeedbackAblation(0.10),
+		r.Consolidation(nil),
+	}
+}
+
 func usage() {
-	fmt.Fprintf(os.Stderr, `usage: depburst [-json] <command> [flags]
+	fmt.Fprintf(os.Stderr, `usage: depburst [-json] [-j N] <command> [flags]
+
+global flags:
+  -json             emit tables as JSON instead of aligned text
+  -j N, -parallel N simulation worker-pool size (default GOMAXPROCS);
+                    output is byte-identical at any N
 
 commands:
   table1            benchmark characteristics at 1 GHz (Table I)
@@ -47,7 +108,9 @@ commands:
   seeds             robustness of the accuracy result across workload seeds
   trace -bench NAME [-threshold X]  frequency timeline under the manager
   svg -bench NAME [-threshold X] [-o FILE]  the same timeline as an SVG
-  all [-step MHz]   every experiment in order
+  all [-step MHz]   every experiment in order (one shared, prewarmed runner)
+  bench [-step MHz] [-o FILE] [-baseline]  time the suite parallel vs serial,
+                    verify byte-identical output, write BENCH_suite.json
   run -bench NAME [-freq MHz]      one measured run, print summary
   record -bench NAME [-freq MHz] -o FILE   record an observation as JSON
   suite [-o FILE]   export the stock benchmark suite as editable JSON
@@ -75,9 +138,27 @@ func emit(t *report.Table) {
 
 func main() {
 	argv := os.Args[1:]
-	if len(argv) > 0 && argv[0] == "-json" {
-		jsonOut = true
-		argv = argv[1:]
+	workers := 0 // 0 = GOMAXPROCS default
+global:
+	for len(argv) > 0 {
+		arg := argv[0]
+		switch {
+		case arg == "-json":
+			jsonOut = true
+			argv = argv[1:]
+		case arg == "-j" || arg == "-parallel":
+			if len(argv) < 2 {
+				usage()
+			}
+			workers = parseWorkers(argv[1])
+			argv = argv[2:]
+		case strings.HasPrefix(arg, "-j=") || strings.HasPrefix(arg, "-parallel="):
+			_, v, _ := strings.Cut(arg, "=")
+			workers = parseWorkers(v)
+			argv = argv[1:]
+		default:
+			break global
+		}
 	}
 	if len(argv) < 1 {
 		usage()
@@ -85,6 +166,9 @@ func main() {
 	cmd := argv[0]
 	args := argv[1:]
 	r := experiments.NewRunner()
+	if workers > 0 {
+		r.SetWorkers(workers)
+	}
 
 	switch cmd {
 	case "table1":
@@ -139,27 +223,11 @@ func main() {
 		fs := flag.NewFlagSet("all", flag.ExitOnError)
 		step := fs.Int("step", 125, "static sweep step in MHz")
 		fs.Parse(args)
-		emit(r.Table1())
-		emit(r.Table2())
-		emit(r.Fig1())
-		emit(r.Fig3a())
-		emit(r.Fig3b())
-		emit(r.Fig4())
-		emit(r.Fig6())
-		r.Fig7(units.Freq(*step)).Fprint(os.Stdout)
-		emit(r.EngineAblation())
-		emit(r.HoldOffAblation("xalan"))
-		emit(r.QuantumAblation("xalan"))
-		emit(r.DRAMVariabilityAblation())
-		emit(r.GCPolicyAblation())
-		emit(r.PrefetchAblation())
-		emit(r.SequentialBackground())
-		emit(r.HeapPressureSweep("lusearch"))
-		emit(r.RegressionComparison())
-		emit(r.SeedSensitivity(nil))
-		emit(r.PerCoreDVFS(0.10))
-		emit(r.FeedbackAblation(0.10))
-		emit(r.Consolidation(nil))
+		for _, t := range suiteTables(r, units.Freq(*step)) {
+			emit(t)
+		}
+	case "bench":
+		cmdBench(args, workers)
 	case "run":
 		cmdRun(r, args)
 	case "record":

@@ -1,0 +1,103 @@
+package event
+
+import (
+	"testing"
+
+	"depburst/internal/units"
+)
+
+// BenchmarkScheduleStep measures the steady-state cost of one event life
+// cycle (Schedule + heap pop + dispatch) with a warm free list — the
+// simulator's innermost loop.
+func BenchmarkScheduleStep(b *testing.B) {
+	e := New()
+	fn := Func(func(units.Time) {})
+	// Warm the free list and heap capacity.
+	for i := 0; i < 64; i++ {
+		e.Schedule(units.Time(i), fn)
+	}
+	for e.Step() {
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Schedule(e.Now()+1, fn)
+		e.Step()
+	}
+}
+
+// BenchmarkScheduleStepDepth64 keeps 64 events in flight, the regime the
+// kernel scheduler operates in (one timer per runnable thread plus quantum
+// ticks).
+func BenchmarkScheduleStepDepth64(b *testing.B) {
+	e := New()
+	fn := Func(func(units.Time) {})
+	for i := 0; i < 64; i++ {
+		e.Schedule(units.Time(i), fn)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Schedule(e.Now()+64, fn)
+		e.Step()
+	}
+}
+
+// BenchmarkScheduleCancel measures schedule-then-cancel churn (timed waits
+// that are almost always woken early follow this path).
+func BenchmarkScheduleCancel(b *testing.B) {
+	e := New()
+	fn := Func(func(units.Time) {})
+	keep := e.Schedule(1<<40, fn) // floor event so the heap never empties
+	_ = keep
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h := e.Schedule(e.Now()+100, fn)
+		e.Cancel(h)
+		if i&63 == 63 {
+			e.peek() // lazily drain the cancelled backlog
+		}
+	}
+}
+
+// TestScheduleStepZeroAllocs locks in the free-list optimisation: once the
+// engine is warm, an event life cycle performs no heap allocation.
+func TestScheduleStepZeroAllocs(t *testing.T) {
+	e := New()
+	fn := Func(func(units.Time) {})
+	for i := 0; i < 64; i++ {
+		e.Schedule(units.Time(i), fn)
+	}
+	for e.Step() {
+	}
+	avg := testing.AllocsPerRun(1000, func() {
+		e.Schedule(e.Now()+1, fn)
+		e.Step()
+	})
+	if avg != 0 {
+		t.Errorf("Schedule+Step allocates %.2f objects/op in steady state, want 0", avg)
+	}
+}
+
+// TestCancelZeroAllocs: cancellation must not allocate (the old engine paid
+// a map delete; the new one flips a flag).
+func TestCancelZeroAllocs(t *testing.T) {
+	e := New()
+	fn := Func(func(units.Time) {})
+	// Warm free list beyond the churn this test generates.
+	hs := make([]Handle, 128)
+	for i := range hs {
+		hs[i] = e.Schedule(units.Time(1+i), fn)
+	}
+	for e.Step() {
+	}
+	avg := testing.AllocsPerRun(100, func() {
+		h := e.Schedule(e.Now()+10, fn)
+		e.Cancel(h)
+		e.peek()
+	})
+	if avg != 0 {
+		t.Errorf("Schedule+Cancel allocates %.2f objects/op in steady state, want 0", avg)
+	}
+}

@@ -5,60 +5,36 @@
 // monotonically increasing sequence number), which makes simulations
 // deterministic: the same schedule of calls always produces the same
 // execution order.
+//
+// The queue is allocation-free in steady state: fired and cancelled event
+// nodes return to a free list and are reused by later Schedule calls, and
+// cancellation marks the node in place (the heap drops it lazily) instead of
+// touching any auxiliary index.
 package event
 
 import (
-	"container/heap"
-
 	"depburst/internal/units"
 )
 
 // Func is an event callback. It receives the current simulated time.
 type Func func(now units.Time)
 
-// Handle identifies a scheduled event so it can be cancelled.
+// Handle identifies a scheduled event so it can be cancelled. The zero
+// Handle is inert: cancelling it is a no-op.
 type Handle struct {
+	it  *item
 	seq uint64
 }
 
+// item is one queue node. Nodes are pooled: after firing or lazy removal
+// they go back to the engine's free list and are reissued with a fresh
+// sequence number, which is what invalidates stale Handles.
 type item struct {
 	at     units.Time
 	seq    uint64
 	fn     Func
+	index  int // heap position; -1 when not queued
 	cancel bool
-	index  int
-}
-
-type queue []*item
-
-func (q queue) Len() int { return len(q) }
-
-func (q queue) Less(i, j int) bool {
-	if q[i].at != q[j].at {
-		return q[i].at < q[j].at
-	}
-	return q[i].seq < q[j].seq
-}
-
-func (q queue) Swap(i, j int) {
-	q[i], q[j] = q[j], q[i]
-	q[i].index = i
-	q[j].index = j
-}
-
-func (q *queue) Push(x any) {
-	it := x.(*item)
-	it.index = len(*q)
-	*q = append(*q, it)
-}
-
-func (q *queue) Pop() any {
-	old := *q
-	n := len(old)
-	it := old[n-1]
-	old[n-1] = nil
-	*q = old[:n-1]
-	return it
 }
 
 // Engine is a discrete-event simulator clock and queue. The zero value is
@@ -66,14 +42,15 @@ func (q *queue) Pop() any {
 type Engine struct {
 	now     units.Time
 	nextSeq uint64
-	q       queue
-	byseq   map[uint64]*item
+	q       []*item
+	free    []*item
+	live    int // scheduled and not cancelled
 	stopped bool
 }
 
 // New returns an engine starting at time 0.
 func New() *Engine {
-	return &Engine{byseq: make(map[uint64]*item)}
+	return &Engine{}
 }
 
 // Now returns the current simulated time.
@@ -85,14 +62,19 @@ func (e *Engine) Schedule(at units.Time, fn Func) Handle {
 	if at < e.now {
 		panic("event: scheduling in the past")
 	}
-	if e.byseq == nil {
-		e.byseq = make(map[uint64]*item)
+	var it *item
+	if n := len(e.free); n > 0 {
+		it = e.free[n-1]
+		e.free[n-1] = nil
+		e.free = e.free[:n-1]
+	} else {
+		it = &item{}
 	}
-	it := &item{at: at, seq: e.nextSeq, fn: fn}
-	e.nextSeq++
-	heap.Push(&e.q, it)
-	e.byseq[it.seq] = it
-	return Handle{seq: it.seq}
+	e.nextSeq++ // pre-increment: seq 0 stays reserved for the inert zero Handle
+	it.at, it.seq, it.fn, it.cancel = at, e.nextSeq, fn, false
+	e.push(it)
+	e.live++
+	return Handle{it: it, seq: it.seq}
 }
 
 // After schedules fn to run d after the current time.
@@ -101,28 +83,37 @@ func (e *Engine) After(d units.Time, fn Func) Handle {
 }
 
 // Cancel prevents a scheduled event from firing. Cancelling an event that
-// already fired (or was already cancelled) is a no-op.
+// already fired (or was already cancelled) is a no-op. The node stays in the
+// heap and is dropped lazily when it reaches the front.
 func (e *Engine) Cancel(h Handle) {
-	if it, ok := e.byseq[h.seq]; ok {
-		it.cancel = true
-		delete(e.byseq, h.seq)
+	it := h.it
+	if it == nil || it.seq != h.seq || it.index < 0 || it.cancel {
+		return
 	}
+	it.cancel = true
+	it.fn = nil // release the closure now; the node may linger in the heap
+	e.live--
 }
 
 // Pending reports the number of live (non-cancelled) events in the queue.
-func (e *Engine) Pending() int { return len(e.byseq) }
+func (e *Engine) Pending() int { return e.live }
 
 // Step fires the earliest pending event and returns true, or returns false
 // if the queue is empty.
 func (e *Engine) Step() bool {
-	for e.q.Len() > 0 {
-		it := heap.Pop(&e.q).(*item)
+	for len(e.q) > 0 {
+		it := e.pop()
 		if it.cancel {
+			e.recycle(it)
 			continue
 		}
-		delete(e.byseq, it.seq)
+		e.live--
 		e.now = it.at
-		it.fn(e.now)
+		fn := it.fn
+		// Recycle before running: the callback may Schedule and legally
+		// reuse this node (its new seq invalidates old Handles).
+		e.recycle(it)
+		fn(e.now)
 		return true
 	}
 	return false
@@ -160,12 +151,83 @@ func (e *Engine) RunUntil(deadline units.Time) units.Time {
 func (e *Engine) Stop() { e.stopped = true }
 
 func (e *Engine) peek() (units.Time, bool) {
-	for e.q.Len() > 0 {
+	for len(e.q) > 0 {
 		if e.q[0].cancel {
-			heap.Pop(&e.q)
+			e.recycle(e.pop())
 			continue
 		}
 		return e.q[0].at, true
 	}
 	return 0, false
+}
+
+func (e *Engine) recycle(it *item) {
+	it.fn = nil
+	it.index = -1
+	e.free = append(e.free, it)
+}
+
+// less orders the heap by (time, schedule order).
+func (e *Engine) less(a, b *item) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.seq < b.seq
+}
+
+// push inserts it into the heap (manual sift-up: avoids container/heap's
+// interface boxing on the simulator's hottest path).
+func (e *Engine) push(it *item) {
+	e.q = append(e.q, it)
+	i := len(e.q) - 1
+	it.index = i
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !e.less(e.q[i], e.q[parent]) {
+			break
+		}
+		e.swap(i, parent)
+		i = parent
+	}
+}
+
+// pop removes and returns the heap minimum.
+func (e *Engine) pop() *item {
+	q := e.q
+	it := q[0]
+	n := len(q) - 1
+	q[0] = q[n]
+	q[0].index = 0
+	q[n] = nil
+	e.q = q[:n]
+	e.down(0)
+	it.index = -1
+	return it
+}
+
+func (e *Engine) down(i int) {
+	q := e.q
+	n := len(q)
+	for {
+		l := 2*i + 1
+		if l >= n {
+			return
+		}
+		least := l
+		if r := l + 1; r < n && e.less(q[r], q[l]) {
+			least = r
+		}
+		if !e.less(q[least], q[i]) {
+			return
+		}
+		e.swap(i, least)
+		i = least
+	}
+}
+
+func (e *Engine) swap(i, j int) {
+	q := e.q
+	q[i], q[j] = q[j], q[i]
+	q[i].index = i
+	q[j].index = j
 }

@@ -133,3 +133,106 @@ func TestCancelInterleavedWithPeek(t *testing.T) {
 		t.Errorf("end %v", end)
 	}
 }
+
+func TestZeroHandleCancelInert(t *testing.T) {
+	e := New()
+	ran := false
+	e.Schedule(10, func(units.Time) { ran = true })
+	e.Cancel(Handle{}) // must not cancel anything
+	e.Run()
+	if !ran {
+		t.Error("zero-Handle Cancel cancelled a live event")
+	}
+}
+
+func TestStaleHandleAfterRecycle(t *testing.T) {
+	// A Handle to a fired event must stay inert even after its node is
+	// recycled into a new event: cancelling the stale handle must not
+	// cancel the new occupant.
+	e := New()
+	h := e.Schedule(10, func(units.Time) {})
+	e.Run() // fires; node goes to the free list
+	ran := false
+	e.Schedule(20, func(units.Time) { ran = true }) // reuses the node
+	e.Cancel(h)                                     // stale: seq mismatch
+	e.Run()
+	if !ran {
+		t.Error("stale handle cancelled a recycled event")
+	}
+	if e.Pending() != 0 {
+		t.Errorf("pending = %d", e.Pending())
+	}
+}
+
+func TestCancelFromOwnCallback(t *testing.T) {
+	// Cancelling your own (already firing) handle must be a no-op, even
+	// though the node was recycled just before the callback ran.
+	e := New()
+	var h Handle
+	fired := 0
+	h = e.Schedule(5, func(units.Time) {
+		fired++
+		e.Cancel(h)
+	})
+	later := false
+	e.Schedule(10, func(units.Time) { later = true })
+	e.Run()
+	if fired != 1 || !later {
+		t.Errorf("fired=%d later=%v", fired, later)
+	}
+}
+
+func TestPendingAcrossCancelAndRecycle(t *testing.T) {
+	e := New()
+	hs := make([]Handle, 10)
+	for i := range hs {
+		hs[i] = e.Schedule(units.Time(10+i), func(units.Time) {})
+	}
+	if e.Pending() != 10 {
+		t.Fatalf("pending = %d, want 10", e.Pending())
+	}
+	for _, h := range hs[:5] {
+		e.Cancel(h)
+		e.Cancel(h) // double cancel must not double-decrement
+	}
+	if e.Pending() != 5 {
+		t.Fatalf("pending after cancels = %d, want 5", e.Pending())
+	}
+	for e.Step() {
+	}
+	if e.Pending() != 0 {
+		t.Errorf("pending after drain = %d", e.Pending())
+	}
+}
+
+func TestHeapOrderRandomised(t *testing.T) {
+	// Cross-check the hand-rolled heap against a straight sort over a
+	// deterministic pseudo-random schedule with many timestamp ties.
+	e := New()
+	const n = 2000
+	x := uint64(0x9E3779B97F4A7C15)
+	want := make([]units.Time, 0, n)
+	got := make([]units.Time, 0, n)
+	for i := 0; i < n; i++ {
+		x ^= x << 13
+		x ^= x >> 7
+		x ^= x << 17
+		at := units.Time(x % 64) // heavy ties exercise FIFO tie-break
+		want = append(want, at)
+		e.Schedule(at, func(now units.Time) { got = append(got, now) })
+	}
+	e.Run()
+	// The fired order must be a stable sort of the scheduled order.
+	stable := make([]units.Time, len(want))
+	copy(stable, want)
+	for i := 1; i < len(stable); i++ { // insertion sort = stable
+		for j := i; j > 0 && stable[j] < stable[j-1]; j-- {
+			stable[j], stable[j-1] = stable[j-1], stable[j]
+		}
+	}
+	for i := range stable {
+		if got[i] != stable[i] {
+			t.Fatalf("fire order diverges at %d: got %v want %v", i, got[i], stable[i])
+		}
+	}
+}

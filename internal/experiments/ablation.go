@@ -11,6 +11,7 @@ import (
 // Leading Loads, CRIT — §II-A) inside the full DEP+BURST epoch model: the
 // paper's motivation for building on CRIT.
 func (r *Runner) EngineAblation() *report.Table {
+	r.Prewarm(dacapo.Suite(), 1000, 4000)
 	engines := []core.Engine{core.StallTime, core.LeadingLoads, core.CRIT}
 	t := &report.Table{
 		Title:  "Ablation: per-thread engine inside DEP+BURST (avg abs error)",
@@ -43,12 +44,20 @@ func (r *Runner) HoldOffAblation(bench string) *report.Table {
 	if err != nil {
 		panic(err)
 	}
+	holds := []int{1, 2, 4, 8}
+	warm := []func(){func() { r.Truth(spec, FMax) }}
+	for _, hold := range holds {
+		hold := hold
+		warm = append(warm, func() { r.managedRunHold(spec, 0.10, hold) })
+	}
+	r.FanOut(warm...)
+
 	ref := r.Truth(spec, FMax)
 	t := &report.Table{
 		Title:  "Ablation: energy-manager Hold-Off (" + bench + ", 10% threshold)",
 		Header: []string{"hold-off", "slowdown", "savings", "transitions"},
 	}
-	for _, hold := range []int{1, 2, 4, 8} {
+	for _, hold := range holds {
 		res, _ := r.managedRunHold(spec, 0.10, hold)
 		slow := report.RelError(float64(res.Time), float64(ref.Time))
 		save := 1 - float64(res.Energy)/float64(ref.Energy)
@@ -63,12 +72,20 @@ func (r *Runner) QuantumAblation(bench string) *report.Table {
 	if err != nil {
 		panic(err)
 	}
+	quanta := []units.Time{20 * units.Microsecond, 50 * units.Microsecond, 100 * units.Microsecond, 200 * units.Microsecond}
+	warm := []func(){func() { r.Truth(spec, FMax) }}
+	for _, q := range quanta {
+		q := q
+		warm = append(warm, func() { r.managedRunQuantum(spec, 0.10, q) })
+	}
+	r.FanOut(warm...)
+
 	ref := r.Truth(spec, FMax)
 	t := &report.Table{
 		Title:  "Ablation: DVFS quantum (" + bench + ", 10% threshold)",
 		Header: []string{"quantum", "slowdown", "savings"},
 	}
-	for _, q := range []units.Time{20 * units.Microsecond, 50 * units.Microsecond, 100 * units.Microsecond, 200 * units.Microsecond} {
+	for _, q := range quanta {
 		res, _ := r.managedRunQuantum(spec, 0.10, q)
 		slow := report.RelError(float64(res.Time), float64(ref.Time))
 		save := 1 - float64(res.Energy)/float64(ref.Energy)
@@ -83,10 +100,14 @@ func (r *Runner) QuantumAblation(bench string) *report.Table {
 // constant-latency assumption; with an idealised fixed-latency memory the
 // two engines converge.
 func (r *Runner) DRAMVariabilityAblation() *report.Table {
-	fixed := NewRunner()
+	fixed := r.fork()
 	fixed.Base.Hier.DRAM.TRCD = 0
 	fixed.Base.Hier.DRAM.TRP = 0
 	fixed.Base.Hier.DRAM.TCAS = 27500 // one uniform 27.5 ns access
+
+	r.FanOut(
+		func() { r.Prewarm(dacapo.Suite(), 4000, 1000) },
+		func() { fixed.Prewarm(dacapo.Suite(), 4000, 1000) })
 
 	t := &report.Table{
 		Title:  "Ablation: variable vs fixed DRAM latency, DEP+BURST engines (avg abs error, 4->1 GHz)",

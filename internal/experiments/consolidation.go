@@ -11,27 +11,44 @@ import (
 	"depburst/internal/units"
 )
 
-// coRunTruth runs a consolidated pair at frequency f (memoised).
+// coRunTruth runs a consolidated pair at frequency f (memoised and
+// singleflight-deduplicated like Truth).
 func (r *Runner) coRunTruth(a, b dacapo.Spec, f units.Freq) *sim.Result {
-	key := truthKey{bench: "corun/" + a.Name + "+" + b.Name, freq: f}
-	r.mu.Lock()
-	res, ok := r.cache[key]
-	r.mu.Unlock()
-	if ok {
-		return res
-	}
-	cfg := r.Base
-	cfg.Freq = f
-	a.Configure(&cfg) // tenant 0 uses the machine's default JVM
-	m := sim.New(cfg)
-	out, err := m.Run(&dacapo.CoRun{Specs: []dacapo.Spec{a, b}})
-	if err != nil {
-		panic(fmt.Sprintf("experiments: co-run %s+%s@%v: %v", a.Name, b.Name, f, err))
-	}
-	r.mu.Lock()
-	r.cache[key] = &out
-	r.mu.Unlock()
-	return &out
+	e := r.truthEntryFor(truthKey{bench: "corun/" + a.Name + "+" + b.Name, freq: f})
+	e.once.Do(func() {
+		defer r.gate()()
+		cfg := r.Base
+		cfg.Freq = f
+		a.Configure(&cfg) // tenant 0 uses the machine's default JVM
+		m := sim.New(cfg)
+		out, err := m.Run(&dacapo.CoRun{Specs: []dacapo.Spec{a, b}})
+		if err != nil {
+			panic(fmt.Sprintf("experiments: co-run %s+%s@%v: %v", a.Name, b.Name, f, err))
+		}
+		e.res = &out
+	})
+	return e.res
+}
+
+// coRunManaged runs the consolidated pair under the chip-wide energy
+// manager (memoised).
+func (r *Runner) coRunManaged(a, b dacapo.Spec, threshold float64) *sim.Result {
+	e := r.runEntryFor(runKey{kind: runCoRunChip, bench: a.Name + "+" + b.Name, threshold: threshold, holdOff: 1})
+	e.once.Do(func() {
+		defer r.gate()()
+		cfg := r.Base
+		cfg.Freq = FMax
+		a.Configure(&cfg)
+		mg := energy.NewManager(energy.DefaultManagerConfig(threshold))
+		m := sim.New(cfg)
+		m.SetGovernor(mg.Governor())
+		out, err := m.Run(&dacapo.CoRun{Specs: []dacapo.Spec{a, b}})
+		if err != nil {
+			panic(err)
+		}
+		e.res, e.mgr = &out, mg
+	})
+	return e.res
 }
 
 // tenantEnd returns when the given tenant's application threads finished
@@ -64,12 +81,9 @@ func (r *Runner) Consolidation(pairs [][2]string) *report.Table {
 			{"sunflow", "avrora"}, // compute + compute
 		}
 	}
-	t := &report.Table{
-		Title: "Extension: consolidated tenants (two JVMs, four cores)",
-		Header: []string{"pair", "A interference", "B interference",
-			"managed slowdown", "managed savings"},
-	}
-	for _, p := range pairs {
+	specs := make([][2]dacapo.Spec, len(pairs))
+	var warm []func()
+	for i, p := range pairs {
 		a, err := dacapo.ByName(p[0])
 		if err != nil {
 			panic(err)
@@ -78,6 +92,22 @@ func (r *Runner) Consolidation(pairs [][2]string) *report.Table {
 		if err != nil {
 			panic(err)
 		}
+		specs[i] = [2]dacapo.Spec{a, b}
+		warm = append(warm,
+			func() { r.Truth(a, FMax) },
+			func() { r.Truth(b, FMax) },
+			func() { r.coRunTruth(a, b, FMax) },
+			func() { r.coRunManaged(a, b, 0.10) })
+	}
+	r.FanOut(warm...)
+
+	t := &report.Table{
+		Title: "Extension: consolidated tenants (two JVMs, four cores)",
+		Header: []string{"pair", "A interference", "B interference",
+			"managed slowdown", "managed savings"},
+	}
+	for i, p := range pairs {
+		a, b := specs[i][0], specs[i][1]
 		soloA := r.Truth(a, FMax)
 		soloB := r.Truth(b, FMax)
 		co := r.coRunTruth(a, b, FMax)
@@ -87,16 +117,7 @@ func (r *Runner) Consolidation(pairs [][2]string) *report.Table {
 
 		// Managed co-run: the chip-wide DEP+BURST manager governs the
 		// consolidated pair against the unmanaged co-run.
-		cfg := r.Base
-		cfg.Freq = FMax
-		a.Configure(&cfg)
-		mg := energy.NewManager(energy.DefaultManagerConfig(0.10))
-		m := sim.New(cfg)
-		m.SetGovernor(mg.Governor())
-		managed, err := m.Run(&dacapo.CoRun{Specs: []dacapo.Spec{a, b}})
-		if err != nil {
-			panic(err)
-		}
+		managed := r.coRunManaged(a, b, 0.10)
 		mSlow := report.RelError(float64(managed.Time), float64(co.Time))
 		mSave := 1 - float64(managed.Energy)/float64(co.Energy)
 

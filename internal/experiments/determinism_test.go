@@ -1,0 +1,90 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// renderSet renders a representative experiment set — pure truth-run
+// figures, governed runs, a fork-based sweep and the multi-tenant co-runs —
+// exactly as the CLI would print them.
+func renderSet(r *Runner) string {
+	var b strings.Builder
+	r.Table1().Fprint(&b)
+	r.Fig1().Fprint(&b)
+	r.Fig4().Fprint(&b)
+	r.Fig6().Fprint(&b)
+	r.Consolidation(nil).Fprint(&b)
+	return b.String()
+}
+
+// TestParallelDeterminism is the headline guarantee of the parallel
+// experiment engine: the rendered tables must be byte-identical between a
+// serial runner (-j 1) and a heavily parallel one (-j 8), because each
+// simulation owns its engine, kernel and RNG, and rows are assembled
+// serially from memoised results.
+func TestParallelDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long integration experiment")
+	}
+	type out struct {
+		workers int
+		text    string
+	}
+	outs := make([]out, 0, 2)
+	for _, workers := range []int{1, 8} {
+		outs = append(outs, out{workers, renderSet(NewRunnerWorkers(workers))})
+	}
+	if outs[0].text != outs[1].text {
+		d := firstDiff(outs[0].text, outs[1].text)
+		t.Fatalf("output diverges between -j %d and -j %d at byte %d:\nserial:   %q\nparallel: %q",
+			outs[0].workers, outs[1].workers, d,
+			window(outs[0].text, d), window(outs[1].text, d))
+	}
+	if len(outs[0].text) == 0 {
+		t.Fatal("experiment set rendered nothing")
+	}
+}
+
+// TestParallelDeterminismRepeated re-runs the parallel engine and checks
+// run-to-run stability (goroutine interleaving must not leak into results).
+func TestParallelDeterminismRepeated(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long integration experiment")
+	}
+	render := func() string {
+		var b strings.Builder
+		r := NewRunnerWorkers(6)
+		r.Fig1().Fprint(&b)
+		r.SeedSensitivity([]uint64{1, 2}).Fprint(&b)
+		return b.String()
+	}
+	a, b := render(), render()
+	if a != b {
+		t.Fatalf("parallel runs diverge at byte %d", firstDiff(a, b))
+	}
+}
+
+func firstDiff(a, b string) int {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		if a[i] != b[i] {
+			return i
+		}
+	}
+	return n
+}
+
+func window(s string, at int) string {
+	lo, hi := at-40, at+40
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > len(s) {
+		hi = len(s)
+	}
+	return s[lo:hi]
+}

@@ -10,45 +10,68 @@ import (
 
 // ManagedRun executes spec under the energy manager with the given
 // slowdown threshold, starting (per the paper) at the maximum frequency.
+// Like Truth, managed runs are memoised and singleflight-deduplicated.
 func (r *Runner) ManagedRun(spec dacapo.Spec, threshold float64) (*sim.Result, *energy.Manager) {
 	return r.managedRunHold(spec, threshold, 1)
 }
 
 func (r *Runner) managedRunHold(spec dacapo.Spec, threshold float64, holdOff int) (*sim.Result, *energy.Manager) {
-	cfg := r.Base
-	cfg.Freq = FMax
-	spec.Configure(&cfg)
-	mcfg := energy.DefaultManagerConfig(threshold)
-	mcfg.HoldOff = holdOff
-	mg := energy.NewManager(mcfg)
-	m := sim.New(cfg)
-	m.SetGovernor(mg.Governor())
-	res, err := m.Run(dacapo.New(spec))
-	if err != nil {
-		panic(err)
-	}
-	return &res, mg
+	e := r.runEntryFor(runKey{kind: runChip, bench: spec.Name, threshold: threshold, holdOff: holdOff})
+	e.once.Do(func() {
+		defer r.gate()()
+		cfg := r.Base
+		cfg.Freq = FMax
+		spec.Configure(&cfg)
+		mcfg := energy.DefaultManagerConfig(threshold)
+		mcfg.HoldOff = holdOff
+		mg := energy.NewManager(mcfg)
+		m := sim.New(cfg)
+		m.SetGovernor(mg.Governor())
+		res, err := m.Run(dacapo.New(spec))
+		if err != nil {
+			panic(err)
+		}
+		e.res, e.mgr = &res, mg
+	})
+	return e.res, e.mgr.(*energy.Manager)
 }
 
 func (r *Runner) managedRunQuantum(spec dacapo.Spec, threshold float64, quantum units.Time) (*sim.Result, *energy.Manager) {
-	cfg := r.Base
-	cfg.Freq = FMax
-	cfg.Quantum = quantum
-	spec.Configure(&cfg)
-	mg := energy.NewManager(energy.DefaultManagerConfig(threshold))
-	m := sim.New(cfg)
-	m.SetGovernor(mg.Governor())
-	res, err := m.Run(dacapo.New(spec))
-	if err != nil {
-		panic(err)
-	}
-	return &res, mg
+	e := r.runEntryFor(runKey{kind: runChip, bench: spec.Name, threshold: threshold, holdOff: 1, quantum: quantum})
+	e.once.Do(func() {
+		defer r.gate()()
+		cfg := r.Base
+		cfg.Freq = FMax
+		cfg.Quantum = quantum
+		spec.Configure(&cfg)
+		mg := energy.NewManager(energy.DefaultManagerConfig(threshold))
+		m := sim.New(cfg)
+		m.SetGovernor(mg.Governor())
+		res, err := m.Run(dacapo.New(spec))
+		if err != nil {
+			panic(err)
+		}
+		e.res, e.mgr = &res, mg
+	})
+	return e.res, e.mgr.(*energy.Manager)
 }
 
 // Fig6 reproduces Figure 6: per-benchmark slowdown and energy savings under
 // the DEP+BURST energy manager for 5% and 10% slowdown thresholds,
 // relative to always running at 4 GHz.
 func (r *Runner) Fig6() *report.Table {
+	thresholds := []float64{0.05, 0.10}
+	var warm []func()
+	for _, spec := range dacapo.Suite() {
+		spec := spec
+		warm = append(warm, func() { r.Truth(spec, FMax) })
+		for _, thr := range thresholds {
+			thr := thr
+			warm = append(warm, func() { r.ManagedRun(spec, thr) })
+		}
+	}
+	r.FanOut(warm...)
+
 	t := &report.Table{
 		Title: "Figure 6: energy manager (DEP+BURST), slowdown and energy savings vs 4 GHz",
 		Header: []string{"benchmark", "type",
@@ -58,7 +81,7 @@ func (r *Runner) Fig6() *report.Table {
 	for _, spec := range dacapo.Suite() {
 		ref := r.Truth(spec, FMax)
 		row := []string{spec.Name, spec.Class()}
-		for _, thr := range []float64{0.05, 0.10} {
+		for _, thr := range thresholds {
 			res, _ := r.ManagedRun(spec, thr)
 			slow := report.RelError(float64(res.Time), float64(ref.Time))
 			save := 1 - float64(res.Energy)/float64(ref.Energy)
@@ -80,25 +103,40 @@ func (r *Runner) Fig6() *report.Table {
 	return t
 }
 
-// PerCoreRun executes spec under the per-core DVFS manager.
+// PerCoreRun executes spec under the per-core DVFS manager (memoised).
 func (r *Runner) PerCoreRun(spec dacapo.Spec, threshold float64) (*sim.Result, *energy.PerCoreManager) {
-	cfg := r.Base
-	cfg.Freq = FMax
-	spec.Configure(&cfg)
-	mg := energy.NewPerCoreManager(energy.DefaultManagerConfig(threshold))
-	m := sim.New(cfg)
-	m.SetCoreGovernor(mg.Governor())
-	res, err := m.Run(dacapo.New(spec))
-	if err != nil {
-		panic(err)
-	}
-	return &res, mg
+	e := r.runEntryFor(runKey{kind: runPerCore, bench: spec.Name, threshold: threshold})
+	e.once.Do(func() {
+		defer r.gate()()
+		cfg := r.Base
+		cfg.Freq = FMax
+		spec.Configure(&cfg)
+		mg := energy.NewPerCoreManager(energy.DefaultManagerConfig(threshold))
+		m := sim.New(cfg)
+		m.SetCoreGovernor(mg.Governor())
+		res, err := m.Run(dacapo.New(spec))
+		if err != nil {
+			panic(err)
+		}
+		e.res, e.mgr = &res, mg
+	})
+	return e.res, e.mgr.(*energy.PerCoreManager)
 }
 
 // PerCoreDVFS is the future-work extension experiment (§VII): chip-wide
 // DEP+BURST management versus independent per-core management at the same
 // slowdown bound.
 func (r *Runner) PerCoreDVFS(threshold float64) *report.Table {
+	var warm []func()
+	for _, spec := range dacapo.Suite() {
+		spec := spec
+		warm = append(warm,
+			func() { r.Truth(spec, FMax) },
+			func() { r.ManagedRun(spec, threshold) },
+			func() { r.PerCoreRun(spec, threshold) })
+	}
+	r.FanOut(warm...)
+
 	t := &report.Table{
 		Title: "Extension: chip-wide vs per-core DVFS (10% bound, savings vs 4 GHz)",
 		Header: []string{"benchmark", "type",
@@ -125,10 +163,9 @@ func (r *Runner) PerCoreDVFS(threshold float64) *report.Table {
 	return t
 }
 
-// Fig7 reproduces Figure 7: the dynamic energy manager versus the
-// static-optimal oracle frequency. step sets the sweep granularity (the
-// paper's DVFS step is 125 MHz; coarser steps run faster).
-func (r *Runner) Fig7(step units.Freq) *report.Table {
+// SweepFreqs returns the static-sweep frequency grid from FMin to FMax at
+// the given step (the paper's DVFS step is 125 MHz).
+func SweepFreqs(step units.Freq) []units.Freq {
 	if step <= 0 {
 		step = 125
 	}
@@ -136,12 +173,50 @@ func (r *Runner) Fig7(step units.Freq) *report.Table {
 	for f := FMin; f <= FMax; f += step {
 		freqs = append(freqs, f)
 	}
+	return freqs
+}
+
+// staticSweep assembles the static-frequency sweep for spec from the
+// Runner's memoised truth runs: a static point IS a truth run at that
+// frequency, so the sweep shares the cache with every other experiment and
+// fans out on the pool like everything else.
+func (r *Runner) staticSweep(spec dacapo.Spec, freqs []units.Freq) []energy.StaticResult {
+	out := make([]energy.StaticResult, 0, len(freqs))
+	for _, f := range freqs {
+		res := r.Truth(spec, f)
+		out = append(out, energy.StaticResult{Freq: f, Time: res.Time, Energy: res.Energy})
+	}
+	return out
+}
+
+// Fig7 reproduces Figure 7: the dynamic energy manager versus the
+// static-optimal oracle frequency. step sets the sweep granularity (the
+// paper's DVFS step is 125 MHz; coarser steps run faster).
+func (r *Runner) Fig7(step units.Freq) *report.Table {
+	freqs := SweepFreqs(step)
+	const threshold = 0.10
+
+	// The whole matrix up front: the per-benchmark static sweep dominates
+	// wall-clock (~|freqs| truth runs each), plus the reference and the
+	// managed run.
+	var warm []func()
+	for _, spec := range dacapo.Suite() {
+		spec := spec
+		warm = append(warm,
+			func() { r.Truth(spec, FMax) },
+			func() { r.ManagedRun(spec, threshold) })
+		for _, f := range freqs {
+			f := f
+			warm = append(warm, func() { r.Truth(spec, f) })
+		}
+	}
+	r.FanOut(warm...)
+
 	t := &report.Table{
 		Title: "Figure 7: dynamic manager vs static-optimal oracle, 10% slowdown bound (energy savings vs 4 GHz)",
 		Header: []string{"benchmark", "type", "dynamic@10%", "static-opt@10%",
 			"static freq", "static slowdown"},
 	}
-	const threshold = 0.10
 	var dynM, statM []float64
 	for _, spec := range dacapo.Suite() {
 		ref := r.Truth(spec, FMax)
@@ -149,9 +224,7 @@ func (r *Runner) Fig7(step units.Freq) *report.Table {
 		res, _ := r.ManagedRun(spec, threshold)
 		dyn := 1 - float64(res.Energy)/float64(ref.Energy)
 
-		cfg := r.Base
-		spec.Configure(&cfg)
-		sweep := energy.StaticSweep(cfg, func() sim.Workload { return dacapo.New(spec) }, freqs)
+		sweep := r.staticSweep(spec, freqs)
 		best := energy.StaticOptimalConstrained(sweep, ref.Time, threshold)
 		stat := 1 - float64(best.Energy)/float64(ref.Energy)
 		slow := report.RelError(float64(best.Time), float64(ref.Time))

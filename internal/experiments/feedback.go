@@ -7,19 +7,25 @@ import (
 	"depburst/internal/sim"
 )
 
-// FeedbackRun executes spec under the closed-loop feedback manager.
+// FeedbackRun executes spec under the closed-loop feedback manager
+// (memoised).
 func (r *Runner) FeedbackRun(spec dacapo.Spec, threshold float64) (*sim.Result, *energy.FeedbackManager) {
-	cfg := r.Base
-	cfg.Freq = FMax
-	spec.Configure(&cfg)
-	mg := energy.NewFeedbackManager(energy.DefaultManagerConfig(threshold))
-	m := sim.New(cfg)
-	m.SetGovernor(mg.Governor())
-	res, err := m.Run(dacapo.New(spec))
-	if err != nil {
-		panic(err)
-	}
-	return &res, mg
+	e := r.runEntryFor(runKey{kind: runFeedback, bench: spec.Name, threshold: threshold})
+	e.once.Do(func() {
+		defer r.gate()()
+		cfg := r.Base
+		cfg.Freq = FMax
+		spec.Configure(&cfg)
+		mg := energy.NewFeedbackManager(energy.DefaultManagerConfig(threshold))
+		m := sim.New(cfg)
+		m.SetGovernor(mg.Governor())
+		res, err := m.Run(dacapo.New(spec))
+		if err != nil {
+			panic(err)
+		}
+		e.res, e.mgr = &res, mg
+	})
+	return e.res, e.mgr.(*energy.FeedbackManager)
 }
 
 // FeedbackAblation compares the paper's open-loop manager with the
@@ -27,6 +33,16 @@ func (r *Runner) FeedbackRun(spec dacapo.Spec, threshold float64) (*sim.Result, 
 // should hold the realised slowdown closer to the bound while saving at
 // least as much energy.
 func (r *Runner) FeedbackAblation(threshold float64) *report.Table {
+	var warm []func()
+	for _, spec := range dacapo.Suite() {
+		spec := spec
+		warm = append(warm,
+			func() { r.Truth(spec, FMax) },
+			func() { r.ManagedRun(spec, threshold) },
+			func() { r.FeedbackRun(spec, threshold) })
+	}
+	r.FanOut(warm...)
+
 	t := &report.Table{
 		Title: "Extension: open-loop (paper) vs closed-loop feedback manager (10% bound)",
 		Header: []string{"benchmark", "type",

@@ -19,6 +19,7 @@ func (r *Runner) PredictionError(spec dacapo.Spec, m core.Model, base, target un
 // Fig1 reproduces Figure 1: average absolute prediction error of M+CRIT
 // versus DEP+BURST for target frequencies 2-4 GHz from a 1 GHz baseline.
 func (r *Runner) Fig1() *report.Table {
+	r.Prewarm(dacapo.Suite(), 1000, 2000, 3000, 4000)
 	models := []core.Model{
 		core.NewMCrit(core.Options{}),
 		core.NewDEPBurst(),
@@ -45,6 +46,7 @@ func (r *Runner) Fig1() *report.Table {
 // fig3 builds one direction of Figure 3: per-benchmark errors for all six
 // models at each target frequency.
 func (r *Runner) fig3(title string, base units.Freq, targets []units.Freq) *report.Table {
+	r.Prewarm(dacapo.Suite(), append([]units.Freq{base}, targets...)...)
 	models := Models()
 	header := []string{"benchmark", "target"}
 	for _, m := range models {
@@ -106,6 +108,7 @@ func (r *Runner) Fig3b() *report.Table {
 // Fig4 reproduces Figure 4: DEP+BURST with across-epoch versus per-epoch
 // critical thread prediction, in both directions.
 func (r *Runner) Fig4() *report.Table {
+	r.Prewarm(dacapo.Suite(), 1000, 4000)
 	across := core.NewDEP(core.Options{Burst: true})
 	per := core.NewDEP(core.Options{Burst: true, PerEpochCTP: true})
 	t := &report.Table{
@@ -139,6 +142,7 @@ func (r *Runner) Fig4() *report.Table {
 // Table1 reproduces Table I: benchmark class, heap size, execution time and
 // GC time at 1 GHz (simulated values are ~100x compressed vs the paper).
 func (r *Runner) Table1() *report.Table {
+	r.Prewarm(dacapo.Suite(), 1000)
 	t := &report.Table{
 		Title:  "Table I: benchmarks at 1 GHz (times ~100x compressed vs paper)",
 		Header: []string{"benchmark", "type", "heap(MB)", "exec(ms)", "gc(ms)", "gc%", "minor", "major"},

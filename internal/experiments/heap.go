@@ -24,10 +24,23 @@ func (r *Runner) HeapPressureSweep(bench string) *report.Table {
 	}
 	dep := core.NewDEPBurst()
 	mcrit := core.NewMCrit(core.Options{})
-	for _, nursery := range []int64{256 << 10, 512 << 10, 1 << 20, 2 << 20, 4 << 20} {
-		rn := NewRunner()
+	nurseries := []int64{256 << 10, 512 << 10, 1 << 20, 2 << 20, 4 << 20}
+	// Each nursery size is its own machine configuration: fork a runner per
+	// point and fan the whole sweep out before assembling rows.
+	runners := make([]*Runner, len(nurseries))
+	specs := make([]dacapo.Spec, len(nurseries))
+	var warm []func()
+	for i, nursery := range nurseries {
+		rn := r.fork()
 		s := spec
 		s.Nursery = nursery
+		runners[i], specs[i] = rn, s
+		warm = append(warm, func() { rn.Prewarm([]dacapo.Spec{s}, 1000, 4000) })
+	}
+	r.FanOut(warm...)
+
+	for i, nursery := range nurseries {
+		rn, s := runners[i], specs[i]
 		res := rn.Truth(s, 1000)
 		gcFrac := float64(res.GC.GCTime) / float64(res.Time)
 		eDep := rn.PredictionError(s, dep, 1000, 4000)

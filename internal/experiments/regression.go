@@ -22,8 +22,11 @@ func (r *Runner) RegressionComparison() *report.Table {
 	// Profiling runs happen on a different day than the deployment run:
 	// model run-to-run variation with a different workload seed for the
 	// training runs (inputs vary between invocations in practice).
-	trainer := NewRunner()
+	trainer := r.fork()
 	trainer.Base.Seed = r.Base.Seed + 100
+	r.FanOut(
+		func() { trainer.Prewarm(dacapo.Suite(), 1000, 2000) },
+		func() { r.Prewarm(dacapo.Suite(), 1000, 3000, 4000) })
 	var regErrs, depErrs []float64
 	for _, spec := range dacapo.Suite() {
 		t1 := trainer.Truth(spec, 1000)

@@ -2,10 +2,19 @@
 // evaluation (see DESIGN.md's experiment index): Table I, Figures 1, 3(a),
 // 3(b), 4, 6 and 7. Each experiment returns a report.Table whose rows
 // mirror what the paper plots.
+//
+// Ground-truth simulations are pure functions of (benchmark, frequency,
+// seed), so the experiment matrix is embarrassingly parallel: the Runner
+// executes truth runs on a bounded worker pool with singleflight
+// deduplication, each experiment fans its whole truth-run set out up front
+// (Prewarm / FanOut), and rows are then assembled serially from the
+// memoised results — which makes the rendered tables byte-identical at any
+// worker count.
 package experiments
 
 import (
 	"fmt"
+	"runtime"
 	"sync"
 
 	"depburst/internal/core"
@@ -26,13 +35,23 @@ var (
 // Runner executes and memoises ground-truth benchmark runs. Truth runs are
 // pure functions of (benchmark, frequency, seed), so each is executed once
 // and shared across experiments.
+//
+// The Runner is safe for concurrent use: concurrent callers asking for the
+// same key block on one in-flight simulation (singleflight) instead of
+// duplicating it, and the number of simulations executing at once is capped
+// by the worker pool (SetWorkers). Each simulation owns its engine, kernel
+// and RNG, so results are independent of scheduling order.
 type Runner struct {
 	// Base is the machine template; per-run copies adjust frequency and
 	// the benchmark's JVM sizing.
 	Base sim.Config
 
+	workers int
+	sem     chan struct{}
+
 	mu    sync.Mutex
-	cache map[truthKey]*sim.Result
+	cache map[truthKey]*truthEntry
+	runs  map[runKey]*runEntry
 }
 
 type truthKey struct {
@@ -40,34 +59,196 @@ type truthKey struct {
 	freq  units.Freq
 }
 
-// NewRunner returns a Runner over the default machine.
-func NewRunner() *Runner {
-	return &Runner{Base: sim.DefaultConfig(), cache: make(map[truthKey]*sim.Result)}
+// truthEntry is one singleflight cache slot: the first caller executes the
+// simulation inside once; everyone else blocks on it and shares the result.
+type truthEntry struct {
+	once sync.Once
+	res  *sim.Result
 }
 
-// Truth returns the measured run of spec at frequency f (memoised).
+// runKind distinguishes the governed (energy-managed) run families, which
+// are memoised alongside truth runs with their tuning parameters as key.
+type runKind uint8
+
+const (
+	runChip runKind = iota
+	runPerCore
+	runFeedback
+	runCoRunChip
+)
+
+type runKey struct {
+	kind      runKind
+	bench     string
+	threshold float64
+	holdOff   int
+	quantum   units.Time
+}
+
+type runEntry struct {
+	once sync.Once
+	res  *sim.Result
+	mgr  any
+}
+
+// NewRunner returns a Runner over the default machine with a worker pool
+// sized to GOMAXPROCS.
+func NewRunner() *Runner {
+	return NewRunnerWorkers(runtime.GOMAXPROCS(0))
+}
+
+// NewRunnerWorkers returns a Runner whose pool executes at most n
+// simulations concurrently. n <= 1 gives fully serial execution.
+func NewRunnerWorkers(n int) *Runner {
+	r := &Runner{
+		Base:  sim.DefaultConfig(),
+		cache: make(map[truthKey]*truthEntry),
+		runs:  make(map[runKey]*runEntry),
+	}
+	r.SetWorkers(n)
+	return r
+}
+
+// SetWorkers resizes the simulation pool. Call it before launching work;
+// in-flight simulations keep the slot they already hold.
+func (r *Runner) SetWorkers(n int) {
+	if n < 1 {
+		n = 1
+	}
+	r.workers = n
+	r.sem = make(chan struct{}, n)
+}
+
+// Workers reports the pool size.
+func (r *Runner) Workers() int { return r.workers }
+
+// fork returns a Runner with the same Base and the same worker pool but an
+// independent memo cache — used by experiments that vary the machine (other
+// seeds, GC policies, DRAM models), so their fan-out still respects one
+// global simulation cap.
+func (r *Runner) fork() *Runner {
+	return &Runner{
+		Base:    r.Base,
+		workers: r.workers,
+		sem:     r.sem,
+		cache:   make(map[truthKey]*truthEntry),
+		runs:    make(map[runKey]*runEntry),
+	}
+}
+
+// gate blocks until a pool slot is free and returns the release func:
+//
+//	defer r.gate()()
+//
+// Only the leaf helpers that actually execute a simulation acquire a slot;
+// experiment-level fan-out goroutines block in singleflight waits without
+// holding one, so nesting FanOut/Prewarm cannot deadlock the pool.
+func (r *Runner) gate() func() {
+	if r.sem == nil {
+		return func() {}
+	}
+	r.sem <- struct{}{}
+	return func() { <-r.sem }
+}
+
+// truthEntryFor returns the singleflight slot for key, creating it if
+// needed.
+func (r *Runner) truthEntryFor(key truthKey) *truthEntry {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.cache == nil {
+		r.cache = make(map[truthKey]*truthEntry)
+	}
+	e, ok := r.cache[key]
+	if !ok {
+		e = &truthEntry{}
+		r.cache[key] = e
+	}
+	return e
+}
+
+func (r *Runner) runEntryFor(key runKey) *runEntry {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.runs == nil {
+		r.runs = make(map[runKey]*runEntry)
+	}
+	e, ok := r.runs[key]
+	if !ok {
+		e = &runEntry{}
+		r.runs[key] = e
+	}
+	return e
+}
+
+// Truth returns the measured run of spec at frequency f. The run is
+// memoised and deduplicated: concurrent callers share one execution.
 func (r *Runner) Truth(spec dacapo.Spec, f units.Freq) *sim.Result {
-	key := truthKey{bench: spec.Name, freq: f}
-	r.mu.Lock()
-	res, ok := r.cache[key]
-	r.mu.Unlock()
-	if ok {
-		return res
-	}
+	e := r.truthEntryFor(truthKey{bench: spec.Name, freq: f})
+	e.once.Do(func() {
+		defer r.gate()()
+		cfg := r.Base
+		cfg.Freq = f
+		spec.Configure(&cfg)
+		m := sim.New(cfg)
+		out, err := m.Run(dacapo.New(spec))
+		if err != nil {
+			panic(fmt.Sprintf("experiments: truth run %s@%v: %v", spec.Name, f, err))
+		}
+		e.res = &out
+	})
+	return e.res
+}
 
-	cfg := r.Base
-	cfg.Freq = f
-	spec.Configure(&cfg)
-	m := sim.New(cfg)
-	out, err := m.Run(dacapo.New(spec))
-	if err != nil {
-		panic(fmt.Sprintf("experiments: truth run %s@%v: %v", spec.Name, f, err))
+// FanOut runs the closures concurrently and waits for all of them. The
+// closures typically call Truth/ManagedRun/...; the simulation pool bounds
+// how many actually execute at once. A panic in any closure is re-raised on
+// the caller once the rest have finished.
+func (r *Runner) FanOut(fns ...func()) {
+	if len(fns) == 0 {
+		return
 	}
+	if r.workers <= 1 {
+		// Serial mode: run in place, deterministic panic order, zero
+		// goroutine overhead.
+		for _, fn := range fns {
+			fn()
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	var once sync.Once
+	var pv any
+	for _, fn := range fns {
+		wg.Add(1)
+		go func(fn func()) {
+			defer wg.Done()
+			defer func() {
+				if p := recover(); p != nil {
+					once.Do(func() { pv = p })
+				}
+			}()
+			fn()
+		}(fn)
+	}
+	wg.Wait()
+	if pv != nil {
+		panic(pv)
+	}
+}
 
-	r.mu.Lock()
-	r.cache[key] = &out
-	r.mu.Unlock()
-	return &out
+// Prewarm fans out the truth runs for every (spec, freq) pair and blocks
+// until the whole matrix is memoised. Experiments call it up front so row
+// assembly afterwards is pure cache hits.
+func (r *Runner) Prewarm(specs []dacapo.Spec, freqs ...units.Freq) {
+	fns := make([]func(), 0, len(specs)*len(freqs))
+	for _, spec := range specs {
+		for _, f := range freqs {
+			spec, f := spec, f
+			fns = append(fns, func() { r.Truth(spec, f) })
+		}
+	}
+	r.FanOut(fns...)
 }
 
 // Observe converts a measured run into the predictor-visible observation.

@@ -24,9 +24,20 @@ func (r *Runner) SeedSensitivity(seeds []uint64) *report.Table {
 	dirs := []dir{{1000, 4000}, {4000, 1000}}
 	models := []core.Model{core.NewMCrit(core.Options{}), core.NewDEPBurst()}
 
-	for _, seed := range seeds {
-		rn := NewRunner()
+	// One forked runner per seed (same pool, independent cache): all seeds'
+	// truth matrices fan out together before rows are assembled.
+	runners := make([]*Runner, len(seeds))
+	var warm []func()
+	for i, seed := range seeds {
+		rn := r.fork()
 		rn.Base.Seed = seed
+		runners[i] = rn
+		warm = append(warm, func() { rn.Prewarm(dacapo.Suite(), 1000, 4000) })
+	}
+	r.FanOut(warm...)
+
+	for i, seed := range seeds {
+		rn := runners[i]
 		row := []string{fmt.Sprint(seed)}
 		for _, d := range dirs {
 			for _, m := range models {

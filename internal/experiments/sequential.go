@@ -64,6 +64,15 @@ func seqSuite() []seqWorkload {
 // thread every multithreaded model degenerates to the per-thread engine,
 // so this isolates the engines themselves.
 func (r *Runner) SequentialBackground() *report.Table {
+	var warm []func()
+	for _, w := range seqSuite() {
+		w := w
+		warm = append(warm,
+			func() { r.seqTruth(w, 1000) },
+			func() { r.seqTruth(w, 4000) })
+	}
+	r.FanOut(warm...)
+
 	t := &report.Table{
 		Title:  "Background (§II-A): single-thread engines on sequential workloads (error, 1->4 GHz)",
 		Header: []string{"workload", "STALL", "LL", "CRIT", "CRIT+BURST"},
@@ -98,25 +107,20 @@ func (r *Runner) SequentialBackground() *report.Table {
 	return t
 }
 
-// seqTruth runs a sequential workload at f (memoised alongside benchmark
-// runs).
+// seqTruth runs a sequential workload at f (memoised and deduplicated
+// alongside benchmark runs).
 func (r *Runner) seqTruth(w seqWorkload, f units.Freq) *sim.Result {
-	key := truthKey{bench: "seq/" + w.name, freq: f}
-	r.mu.Lock()
-	res, ok := r.cache[key]
-	r.mu.Unlock()
-	if ok {
-		return res
-	}
-	cfg := r.Base
-	cfg.Freq = f
-	m := sim.New(cfg)
-	out, err := m.Run(w)
-	if err != nil {
-		panic(fmt.Sprintf("experiments: sequential run %s@%v: %v", w.name, f, err))
-	}
-	r.mu.Lock()
-	r.cache[key] = &out
-	r.mu.Unlock()
-	return &out
+	e := r.truthEntryFor(truthKey{bench: "seq/" + w.name, freq: f})
+	e.once.Do(func() {
+		defer r.gate()()
+		cfg := r.Base
+		cfg.Freq = f
+		m := sim.New(cfg)
+		out, err := m.Run(w)
+		if err != nil {
+			panic(fmt.Sprintf("experiments: sequential run %s@%v: %v", w.name, f, err))
+		}
+		e.res = &out
+	})
+	return e.res
 }

@@ -12,8 +12,12 @@ import (
 // the same benchmarks become substantially more GC- and memory-bound, and
 // DEP+BURST must keep tracking them.
 func (r *Runner) GCPolicyAblation() *report.Table {
-	semi := NewRunner()
+	semi := r.fork()
 	semi.Base.JVM.Policy = jvm.FullHeapSemispace
+
+	r.FanOut(
+		func() { r.Prewarm(dacapo.Suite(), 1000, 4000) },
+		func() { semi.Prewarm(dacapo.Suite(), 1000, 4000) })
 
 	t := &report.Table{
 		Title: "Ablation: GC policy (generational vs full-heap semispace)",
@@ -44,8 +48,12 @@ func (r *Runner) GCPolicyAblation() *report.Table {
 // sequential (GC copy) misses, shifting work between the scaling and
 // non-scaling components that the predictors must re-balance.
 func (r *Runner) PrefetchAblation() *report.Table {
-	pf := NewRunner()
+	pf := r.fork()
 	pf.Base.Hier.NextLinePrefetch = true
+
+	r.FanOut(
+		func() { r.Prewarm(dacapo.Suite(), 1000, 4000) },
+		func() { pf.Prewarm(dacapo.Suite(), 1000, 4000) })
 
 	t := &report.Table{
 		Title: "Ablation: L2 next-line prefetcher",

@@ -195,15 +195,16 @@ func (d *DRAM) PeakBandwidth() float64 {
 // BusUtilization reports the data bus's recent busy fraction.
 func (d *DRAM) BusUtilization() float64 { return d.bus.utilization() }
 
-// Reset clears bank state and statistics, keeping the configuration.
+// Reset clears bank state and statistics, keeping the configuration. The
+// reservation calendars are cleared in place rather than reallocated.
 func (d *DRAM) Reset() {
 	for i := range d.banks {
 		d.banks[i].rowOpen = false
 		d.banks[i].openRow = 0
-		d.banks[i].cal = newCalendar(calBucket, calBuckets)
+		d.banks[i].cal.reset()
 	}
-	d.bus = newCalendar(calBucket, calBuckets)
-	d.wbus = newCalendar(calBucket, calBuckets)
+	d.bus.reset()
+	d.wbus.reset()
 	d.Reads, d.Writes = 0, 0
 	d.RowHits, d.RowMisses, d.Conflicts = 0, 0, 0
 	d.BusyTime, d.totalLat = 0, 0
