@@ -12,6 +12,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strconv"
 	"strings"
@@ -22,6 +23,7 @@ import (
 	"depburst/internal/obsio"
 	"depburst/internal/report"
 	"depburst/internal/sim"
+	"depburst/internal/tracefmt"
 	"depburst/internal/units"
 	"depburst/internal/viz"
 )
@@ -111,7 +113,13 @@ commands:
   all [-step MHz]   every experiment in order (one shared, prewarmed runner)
   bench [-step MHz] [-o FILE] [-baseline]  time the suite parallel vs serial,
                     verify byte-identical output, write BENCH_suite.json
-  run -bench NAME [-freq MHz]      one measured run, print summary
+  run -bench NAME [-freq MHz] [-metrics FILE] [-timeline FILE]
+      [-managed] [-threshold X] [-target MHz]
+                    one measured run; -metrics exports the observability
+                    document, -timeline a Chrome trace_event timeline,
+                    -target adds prediction-error telemetry vs that truth run
+  report [-base MHz] [-target MHz]  per-benchmark DEP+BURST error breakdown
+                    (pipeline vs memory vs burst vs idle components)
   record -bench NAME [-freq MHz] -o FILE   record an observation as JSON
   suite [-o FILE]   export the stock benchmark suite as editable JSON
   doctor            quick self-check: determinism, accuracy, energy sanity
@@ -230,6 +238,12 @@ global:
 		cmdBench(args, workers)
 	case "run":
 		cmdRun(r, args)
+	case "report":
+		fs := flag.NewFlagSet("report", flag.ExitOnError)
+		base := fs.Int("base", 1000, "base frequency in MHz")
+		target := fs.Int("target", 4000, "target frequency in MHz")
+		fs.Parse(args)
+		emit(r.ErrorBreakdownTable(units.Freq(*base), units.Freq(*target)))
 	case "record":
 		cmdRecord(r, args)
 	case "suite":
@@ -250,10 +264,51 @@ func cmdRun(r *experiments.Runner, args []string) {
 	bench := fs.String("bench", "xalan", "benchmark name")
 	freq := fs.Int("freq", 1000, "frequency in MHz")
 	suite := fs.String("suite", "", "custom suite JSON (see 'depburst suite')")
+	metricsOut := fs.String("metrics", "", "write the run's metrics document (JSON) to FILE")
+	timelineOut := fs.String("timeline", "", "write a Chrome trace_event timeline to FILE (chrome://tracing / Perfetto)")
+	managed := fs.Bool("managed", false, "govern the run with the DEP+BURST energy manager (starts at 4 GHz)")
+	threshold := fs.Float64("threshold", 0.10, "manager slowdown bound (with -managed)")
+	target := fs.Int("target", 0, "record prediction-error telemetry against the truth run at this frequency (MHz)")
 	fs.Parse(args)
 	spec := resolveSpec(*suite, *bench)
-	res := r.Truth(spec, units.Freq(*freq))
+
+	if *metricsOut == "" && *timelineOut == "" && !*managed && *target == 0 {
+		printRun(spec, r.Truth(spec, units.Freq(*freq)))
+		return
+	}
+
+	// Observability requested: run uncached with a registry attached.
+	res, reg := r.InstrumentedRun(spec, units.Freq(*freq), *managed, *threshold)
+	if *target > 0 {
+		r.ErrorBreakdown(spec, core.Options{Burst: true}, units.Freq(*freq), units.Freq(*target), reg)
+	}
 	printRun(spec, res)
+	if *metricsOut != "" {
+		writeTo(*metricsOut, reg.WriteJSON)
+		fmt.Printf("metrics        -> %s\n", *metricsOut)
+	}
+	if *timelineOut != "" {
+		writeTo(*timelineOut, func(w io.Writer) error { return tracefmt.Write(w, res, reg) })
+		fmt.Printf("timeline       -> %s (load in chrome://tracing or ui.perfetto.dev)\n", *timelineOut)
+	}
+}
+
+// writeTo creates path and streams one export into it.
+func writeTo(path string, write func(io.Writer) error) {
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if err := f.Close(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
 }
 
 // resolveSpec looks a benchmark up in the stock suite or, when suitePath is

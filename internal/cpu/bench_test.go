@@ -1,0 +1,62 @@
+package cpu
+
+import (
+	"testing"
+
+	"depburst/internal/mem"
+	"depburst/internal/metrics"
+	"depburst/internal/units"
+)
+
+// runSteadyState drives a core through a fixed block mix until the
+// transient allocations (store-queue growth, hierarchy warm-up) are done.
+func runSteadyState(c *Core) func() {
+	var ctr Counters
+	now := units.Time(0)
+	i := 0
+	blk := &Block{Instrs: 400, IPC: 2.0, Events: make([]MemEvent, 4)}
+	step := func() {
+		for j := range blk.Events {
+			blk.Events[j] = MemEvent{
+				At:    int64(j*50 + 10),
+				Addr:  mem.Addr(0x100000 + (i*4+j)*64*1024).Line(),
+				Store: j == 3,
+			}
+		}
+		now = c.Run(now, blk, &ctr)
+		i++
+	}
+	for k := 0; k < 64; k++ {
+		step() // warm up: queues sized, caches populated
+	}
+	return step
+}
+
+// TestCoreRunZeroAllocs locks the whole per-block simulation path — block
+// timing, miss clustering, store-queue bookkeeping, counter updates — at
+// zero steady-state heap allocations, with observability disabled (the
+// default nil registry) AND enabled. The nil-receiver fast path must cost
+// one branch, not an allocation; the enabled path observes into
+// fixed-bucket histograms, which are allocation-free too.
+func TestCoreRunZeroAllocs(t *testing.T) {
+	t.Run("nil-registry", func(t *testing.T) {
+		core, _ := testCore(2000 * units.MHz)
+		step := runSteadyState(core)
+		if avg := testing.AllocsPerRun(500, step); avg != 0 {
+			t.Errorf("Core.Run allocates %.2f objects/block with metrics disabled, want 0", avg)
+		}
+	})
+	t.Run("enabled-registry", func(t *testing.T) {
+		core, hier := testCore(2000 * units.MHz)
+		reg := metrics.NewRegistry()
+		core.SetMetrics(reg)
+		hier.SetMetrics(reg)
+		step := runSteadyState(core)
+		if avg := testing.AllocsPerRun(500, step); avg != 0 {
+			t.Errorf("Core.Run allocates %.2f objects/block with metrics enabled, want 0", avg)
+		}
+		if reg.Counts().MissClusters == 0 {
+			t.Error("enabled registry observed no miss clusters during the run")
+		}
+	})
+}

@@ -4,6 +4,7 @@ import (
 	"math"
 
 	"depburst/internal/mem"
+	"depburst/internal/metrics"
 	"depburst/internal/units"
 )
 
@@ -62,6 +63,11 @@ type Core struct {
 
 	// scratch buffer for outstanding miss completion times (MSHR model).
 	outstanding []float64
+
+	// reg, when non-nil, receives miss-cluster and store-queue stall
+	// observations. The nil fast path costs one branch per event
+	// (guarded by TestCoreRunZeroAllocs).
+	reg *metrics.Registry
 }
 
 // NewCore builds a core. The clock is shared with the DVFS controller: a
@@ -81,6 +87,9 @@ func (c *Core) Clock() *units.Clock { return c.clock }
 
 // Config returns the core configuration.
 func (c *Core) Config() Config { return c.cfg }
+
+// SetMetrics attaches a per-run observability registry (nil disables).
+func (c *Core) SetMetrics(reg *metrics.Registry) { c.reg = reg }
 
 // Counters returns the work executed on this core so far (all threads).
 // Its Active field is maintained by the kernel via AddActive.
@@ -234,6 +243,7 @@ func (c *Core) cluster(t float64, b *Block, i int, headRes mem.Result, dispatchP
 	if stall := (end - t0) - covered; stall > 0 {
 		ctr.StallNS += units.Time(stall)
 	}
+	c.reg.ObserveMissCluster(units.Time(maxChainPath))
 	return end, lastAt + 1, j
 }
 
@@ -246,6 +256,7 @@ func (c *Core) commitStore(t float64, addr mem.Addr, ctr *Counters) float64 {
 		wake := c.sq[0]
 		if wake > t {
 			ctr.SQFull += units.Time(wake - t)
+			c.reg.ObserveSQStall(units.Time(wake - t))
 			t = wake
 		}
 		c.drainSQ(t)

@@ -7,6 +7,7 @@ package energy
 
 import (
 	"depburst/internal/core"
+	"depburst/internal/metrics"
 	"depburst/internal/sim"
 	"depburst/internal/units"
 )
@@ -127,6 +128,16 @@ func (mg *Manager) Governor() sim.Governor {
 			PredMax:     predMax,
 			PredChosen:  pred,
 			EpochsInLag: s.EpochHi - s.EpochLo,
+		})
+		// Observability: mirror the decision into the run's registry so
+		// the exported metrics document carries the manager's
+		// per-quantum prediction telemetry.
+		m.Metrics().RecordQuantumPred(metrics.QuantumPred{
+			At:         s.End,
+			Freq:       apply,
+			PredMax:    predMax,
+			PredChosen: pred,
+			Epochs:     s.EpochHi - s.EpochLo,
 		})
 		return apply
 	}

@@ -1,8 +1,13 @@
 package experiments
 
 import (
+	"bytes"
 	"strings"
 	"testing"
+
+	"depburst/internal/core"
+	"depburst/internal/dacapo"
+	"depburst/internal/tracefmt"
 )
 
 // renderSet renders a representative experiment set — pure truth-run
@@ -62,6 +67,80 @@ func TestParallelDeterminismRepeated(t *testing.T) {
 	a, b := render(), render()
 	if a != b {
 		t.Fatalf("parallel runs diverge at byte %d", firstDiff(a, b))
+	}
+}
+
+// renderObservability executes instrumented runs for a small benchmark set
+// concurrently on the runner's pool and concatenates every exported
+// observability document: the metrics JSON (with prediction-error telemetry
+// attached) and the Chrome-trace timeline, plus one governed run.
+func renderObservability(r *Runner) string {
+	names := []string{"pmd.scale", "avrora"}
+	out := make([]string, 2*len(names)+1)
+	fns := make([]func(), 0, len(names)+1)
+	for i, name := range names {
+		i, name := i, name
+		fns = append(fns, func() {
+			spec, err := dacapo.ByName(name)
+			if err != nil {
+				panic(err)
+			}
+			res, reg := r.InstrumentedRun(spec, 1000, false, 0)
+			r.ErrorBreakdown(spec, core.Options{Burst: true}, 1000, 4000, reg)
+			var m, tl bytes.Buffer
+			if err := reg.WriteJSON(&m); err != nil {
+				panic(err)
+			}
+			if err := tracefmt.Write(&tl, res, reg); err != nil {
+				panic(err)
+			}
+			out[2*i] = m.String()
+			out[2*i+1] = tl.String()
+		})
+	}
+	fns = append(fns, func() {
+		spec, err := dacapo.ByName("pmd.scale")
+		if err != nil {
+			panic(err)
+		}
+		_, reg := r.InstrumentedRun(spec, 0, true, 0.10)
+		var m bytes.Buffer
+		if err := reg.WriteJSON(&m); err != nil {
+			panic(err)
+		}
+		out[2*len(names)] = m.String()
+	})
+	r.FanOut(fns...)
+	return strings.Join(out, "\n")
+}
+
+// TestObservabilityDeterminism extends the engine's byte-identity guarantee
+// to the observability exports: metrics documents and timelines must be
+// byte-identical between -j 1 and -j 8 and across repeated parallel runs,
+// because each registry is filled inside one simulation's single-threaded
+// event loop.
+func TestObservabilityDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long integration experiment")
+	}
+	serial := renderObservability(NewRunnerWorkers(1))
+	parallel := renderObservability(NewRunnerWorkers(8))
+	if serial != parallel {
+		d := firstDiff(serial, parallel)
+		t.Fatalf("observability exports diverge between -j 1 and -j 8 at byte %d:\nserial:   %q\nparallel: %q",
+			d, window(serial, d), window(parallel, d))
+	}
+	again := renderObservability(NewRunnerWorkers(8))
+	if parallel != again {
+		t.Fatalf("repeated parallel observability exports diverge at byte %d", firstDiff(parallel, again))
+	}
+	for _, marker := range []string{
+		`"dram_read_latency"`, `"gc_stw_spans"`, `"traceEvents"`,
+		`"cpi_delta"`, `"pred_chosen_ps"`, `"dvfs_transitions"`,
+	} {
+		if !strings.Contains(serial, marker) {
+			t.Errorf("exports missing %s", marker)
+		}
 	}
 }
 

@@ -18,6 +18,7 @@ import (
 	"depburst/internal/cpu"
 	"depburst/internal/kernel"
 	"depburst/internal/mem"
+	"depburst/internal/metrics"
 	"depburst/internal/rng"
 	"depburst/internal/trace"
 	"depburst/internal/units"
@@ -157,6 +158,10 @@ type JVM struct {
 	traceShare  []int64 // per-worker bytes to trace this round
 
 	stats Stats
+
+	// reg, when non-nil, receives stop-the-world span records as each
+	// collection finishes.
+	reg *metrics.Registry
 }
 
 // New creates a JVM in thread group 0 and spawns its service threads
@@ -216,6 +221,9 @@ func (j *JVM) markLabel(base string) string {
 
 // Stats returns collector statistics accumulated so far.
 func (j *JVM) Stats() Stats { return j.stats }
+
+// SetMetrics attaches a per-run observability registry (nil disables).
+func (j *JVM) SetMetrics(reg *metrics.Registry) { j.reg = reg }
 
 // Config returns the JVM configuration.
 func (j *JVM) Config() Config { return j.cfg }
@@ -404,6 +412,7 @@ func (j *JVM) finishRound(e *kernel.Env) {
 	}
 	j.stats.GCTime += now - j.gcStart
 	j.stats.Pauses = append(j.stats.Pauses, Pause{Start: j.gcStart, End: now, Major: j.roundMajor})
+	j.reg.RecordGCSpan(j.gcStart, now, j.roundMajor)
 
 	// Recycle the nursery: fresh allocations must not hit stale lines.
 	j.hier.InvalidateRange(j.nurseryBase, j.nurseryUsed)

@@ -34,6 +34,17 @@ const (
 	ClassService
 )
 
+func (c Class) String() string {
+	switch c {
+	case ClassApp:
+		return "app"
+	case ClassService:
+		return "service"
+	default:
+		return "?"
+	}
+}
+
 // Program is the body of a simulated thread. It runs on its own goroutine
 // and interacts with the simulation only through the Env.
 type Program func(e *Env)

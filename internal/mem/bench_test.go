@@ -3,6 +3,7 @@ package mem
 import (
 	"testing"
 
+	"depburst/internal/metrics"
 	"depburst/internal/rng"
 	"depburst/internal/units"
 )
@@ -77,6 +78,34 @@ func TestDRAMAccessZeroAllocs(t *testing.T) {
 	})
 	if avg != 0 {
 		t.Errorf("DRAM.Access allocates %.2f objects/op, want 0", avg)
+	}
+}
+
+// TestDRAMAccessZeroAllocsWithMetrics re-runs the access-path guard with an
+// observability registry attached: the per-access latency observation
+// (histogram bucket + counters) must also be allocation-free, so enabling
+// metrics never changes the hot path's allocation profile.
+func TestDRAMAccessZeroAllocsWithMetrics(t *testing.T) {
+	d := NewDRAM(DefaultDRAMConfig())
+	reg := metrics.NewRegistry()
+	d.SetMetrics(reg)
+	r := rng.New(7)
+	addrs := make([]Addr, 1024)
+	for i := range addrs {
+		addrs[i] = Addr(r.Int63n(1 << 30)).Line()
+	}
+	now := units.Time(0)
+	i := 0
+	avg := testing.AllocsPerRun(1000, func() {
+		d.Access(now, addrs[i&1023], i&3 == 0)
+		now += 20 * units.Nanosecond
+		i++
+	})
+	if avg != 0 {
+		t.Errorf("DRAM.Access with metrics allocates %.2f objects/op, want 0", avg)
+	}
+	if n := reg.Counts(); n.DRAMReads == 0 || n.DRAMWrites == 0 {
+		t.Errorf("registry observed nothing: %+v", n)
 	}
 }
 

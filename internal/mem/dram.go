@@ -1,6 +1,7 @@
 package mem
 
 import (
+	"depburst/internal/metrics"
 	"depburst/internal/units"
 )
 
@@ -63,6 +64,10 @@ type DRAM struct {
 	wbus     *calendar // buffered writes
 	bankMask uint64
 
+	// reg, when non-nil, receives per-access latency observations. The
+	// nil fast path costs one branch (guarded by TestDRAMAccessZeroAllocs).
+	reg *metrics.Registry
+
 	// Stats
 	Reads     uint64
 	Writes    uint64
@@ -94,6 +99,9 @@ func NewDRAM(cfg DRAMConfig) *DRAM {
 
 // Config returns the DRAM parameters.
 func (d *DRAM) Config() DRAMConfig { return d.cfg }
+
+// SetMetrics attaches a per-run observability registry (nil disables).
+func (d *DRAM) SetMetrics(reg *metrics.Registry) { d.reg = reg }
 
 func (d *DRAM) bankOf(a Addr) (idx int, row uint64) {
 	line := uint64(a) / LineSize
@@ -145,6 +153,7 @@ func (d *DRAM) Access(now units.Time, addr Addr, write bool) (done units.Time, k
 		d.BusyTime += wb
 		d.totalLat += done - now
 		d.RowHits++ // buffered writes behave like row hits for stats
+		d.reg.ObserveDRAM(true, done-now, false)
 		return done, RowHit
 	}
 
@@ -175,6 +184,7 @@ func (d *DRAM) Access(now units.Time, addr Addr, write bool) (done units.Time, k
 
 	d.BusyTime += d.cfg.TBurst
 	d.totalLat += done - now
+	d.reg.ObserveDRAM(false, done-now, kind == RowConflict)
 	return done, kind
 }
 

@@ -1,6 +1,7 @@
 package mem
 
 import (
+	"depburst/internal/metrics"
 	"depburst/internal/units"
 )
 
@@ -99,6 +100,10 @@ func NewHierarchy(cfg HierarchyConfig) *Hierarchy {
 
 // Config returns the hierarchy configuration.
 func (h *Hierarchy) Config() HierarchyConfig { return h.cfg }
+
+// SetMetrics attaches a per-run observability registry to the memory
+// system (currently the DRAM device; nil disables).
+func (h *Hierarchy) SetMetrics(reg *metrics.Registry) { h.dram.SetMetrics(reg) }
 
 // DRAM exposes the memory model (stats, bandwidth) to callers.
 func (h *Hierarchy) DRAM() *DRAM { return h.dram }

@@ -1,0 +1,195 @@
+package metrics
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"reflect"
+	"sort"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// fixtureRegistry builds a small, fully-populated registry by hand. It is
+// the shared fixture for the golden and schema tests: synthetic so the
+// exported bytes survive simulator model tweaks, populated so every field
+// of the document is exercised.
+func fixtureRegistry() *Registry {
+	r := NewRegistry()
+	r.SetRun("synthetic", 2000)
+	r.ObserveDRAM(false, 25_000, false)
+	r.ObserveDRAM(false, 55_000, true)
+	r.ObserveDRAM(true, 180_000, false)
+	r.ObserveSQStall(12_000)
+	r.ObserveMissCluster(95_000)
+	r.ObserveEpoch(1_200_000)
+	r.ObserveEpoch(350_000)
+	r.RecordFreqChange(5_000_000, -1, 3500)
+	r.RecordFreqChange(9_000_000, 1, 1500)
+	r.RecordGCSpan(2_000_000, 2_400_000, false)
+	r.RecordGCSpan(6_000_000, 7_100_000, true)
+	r.RecordDRAMPoint(DRAMPoint{At: 1_000_000, Reads: 10, Writes: 4, Conflicts: 2, BusUtilization: 0.25})
+	r.RecordDRAMPoint(DRAMPoint{At: 2_000_000, Reads: 7, Writes: 1, Conflicts: 0, BusUtilization: 0.125})
+	r.RecordQuantumPred(QuantumPred{At: 5_000_000, Freq: 3500, PredMax: 4_800_000, PredChosen: 5_100_000, Epochs: 3})
+	r.RecordEpochError(EpochError{
+		Start: 0, Dur: 1_200_000, Pred: 700_000, Instrs: 1500,
+		Pipeline: 300_000, Memory: 350_000, Burst: 50_000, Idle: 0,
+		CPIBase: 1.6, CPIPred: 1.8,
+	})
+	r.RecordEpochError(EpochError{
+		Start: 1_200_000, Dur: 350_000, Pred: 340_000, Instrs: 200,
+		Pipeline: 40_000, Memory: 250_000, Burst: 30_000, Idle: 20_000,
+		CPIBase: 3.5, CPIPred: 6.8,
+	})
+	r.SetPredictionSummary(PredictionSummary{
+		Model: "DEP+BURST", Base: 2000, Target: 4000,
+		Predicted: 1_040_000, Actual: 1_000_000, CPITruth: 2.35,
+	})
+	return r
+}
+
+// checkGolden compares got against the checked-in golden file, rewriting it
+// under -update.
+func checkGolden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run 'go test -update ./...'): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("output differs from %s (re-run with -update if the change is intended)\ngot:\n%s", path, got)
+	}
+}
+
+func TestWriteJSONGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := fixtureRegistry().WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "registry.golden.json", buf.Bytes())
+}
+
+// TestWriteJSONDeterministic: identical registries must export identical
+// bytes — the determinism tests at the experiments layer build on this.
+func TestWriteJSONDeterministic(t *testing.T) {
+	var a, b bytes.Buffer
+	if err := fixtureRegistry().WriteJSON(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := fixtureRegistry().WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Error("two exports of the same fixture differ")
+	}
+}
+
+// sortedKeys returns m's keys sorted, for order-independent comparison.
+func sortedKeys(m map[string]json.RawMessage) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// mustKeys decodes one JSON object and asserts its exact key set — any
+// field rename, addition or removal fails here until FormatVersion and the
+// goldens are updated together.
+func mustKeys(t *testing.T, label string, raw json.RawMessage, want ...string) map[string]json.RawMessage {
+	t.Helper()
+	var m map[string]json.RawMessage
+	if err := json.Unmarshal(raw, &m); err != nil {
+		t.Fatalf("%s: %v", label, err)
+	}
+	sort.Strings(want)
+	if got := sortedKeys(m); !reflect.DeepEqual(got, want) {
+		t.Errorf("%s keys = %v, want %v (schema change requires a FormatVersion bump)", label, got, want)
+	}
+	return m
+}
+
+// TestSchemaStability pins the exported metrics document's field names.
+func TestSchemaStability(t *testing.T) {
+	if FormatVersion != 1 {
+		t.Fatalf("FormatVersion = %d; update this test's expected schema alongside the bump", FormatVersion)
+	}
+	raw, err := json.Marshal(fixtureRegistry().Export())
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc := mustKeys(t, "document", raw,
+		"version", "workload", "freq_mhz", "counters", "histograms",
+		"gc_stw_spans", "freq_changes", "dram_series", "prediction")
+	mustKeys(t, "counters", doc["counters"],
+		"dram_reads", "dram_writes", "bank_conflicts", "sq_full_stalls",
+		"miss_clusters", "dvfs_transitions", "gc_minor", "gc_major", "epochs")
+
+	var hists []json.RawMessage
+	if err := json.Unmarshal(doc["histograms"], &hists); err != nil {
+		t.Fatal(err)
+	}
+	wantHists := []string{
+		"dram_read_latency", "dram_write_latency", "epoch_duration",
+		"gc_stw_pause", "sq_full_stall", "miss_cluster_critical_path",
+	}
+	if len(hists) != len(wantHists) {
+		t.Fatalf("%d histograms, want %d", len(hists), len(wantHists))
+	}
+	for i, h := range hists {
+		m := mustKeys(t, "histogram", h,
+			"name", "unit", "bounds_ps", "counts", "count", "sum_ps", "min_ps", "max_ps")
+		var name string
+		if err := json.Unmarshal(m["name"], &name); err != nil {
+			t.Fatal(err)
+		}
+		if name != wantHists[i] {
+			t.Errorf("histogram %d = %q, want %q (export order is part of the contract)", i, name, wantHists[i])
+		}
+	}
+
+	var spans, changes, series []json.RawMessage
+	for _, f := range []struct {
+		field string
+		dst   *[]json.RawMessage
+	}{{"gc_stw_spans", &spans}, {"freq_changes", &changes}, {"dram_series", &series}} {
+		if err := json.Unmarshal(doc[f.field], f.dst); err != nil {
+			t.Fatalf("%s: %v", f.field, err)
+		}
+	}
+	mustKeys(t, "gc span", spans[0], "start_ps", "end_ps", "major")
+	mustKeys(t, "freq change", changes[0], "at_ps", "core", "freq_mhz")
+	mustKeys(t, "dram point", series[0], "at_ps", "reads", "writes", "conflicts", "bus_util")
+
+	pred := mustKeys(t, "prediction", doc["prediction"],
+		"model", "base_mhz", "target_mhz", "predicted_ps", "actual_ps",
+		"rel_error", "cpi_truth", "components", "epochs", "quantums")
+	mustKeys(t, "components", pred["components"],
+		"pipeline_ps", "memory_ps", "burst_ps", "idle_ps")
+	var epochs, quantums []json.RawMessage
+	if err := json.Unmarshal(pred["epochs"], &epochs); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(pred["quantums"], &quantums); err != nil {
+		t.Fatal(err)
+	}
+	mustKeys(t, "epoch error", epochs[0],
+		"start_ps", "dur_ps", "pred_ps", "instrs", "pipeline_ps",
+		"memory_ps", "burst_ps", "idle_ps", "cpi_base", "cpi_pred", "cpi_delta")
+	mustKeys(t, "quantum pred", quantums[0],
+		"at_ps", "freq_mhz", "pred_max_ps", "pred_chosen_ps", "epochs")
+}

@@ -1,0 +1,252 @@
+package metrics
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// FormatVersion guards consumers against documents written by an
+// incompatible build. Bump it on any breaking schema change; the schema
+// stability test pins the field names of the current version.
+const FormatVersion = 1
+
+// Document is the exported metrics schema. Field names are part of the
+// public contract (golden files and the schema-stability test lock them);
+// rename only with a FormatVersion bump.
+type Document struct {
+	Version     int             `json:"version"`
+	Workload    string          `json:"workload"`
+	FreqMHz     int64           `json:"freq_mhz"`
+	Counters    CountersDoc     `json:"counters"`
+	Histograms  []HistogramDoc  `json:"histograms"`
+	GCStwSpans  []SpanDoc       `json:"gc_stw_spans"`
+	FreqChanges []FreqChangeDoc `json:"freq_changes"`
+	DRAMSeries  []DRAMPointDoc  `json:"dram_series"`
+	Prediction  *PredictionDoc  `json:"prediction,omitempty"`
+}
+
+// CountersDoc is the exported counter block.
+type CountersDoc struct {
+	DRAMReads       int64 `json:"dram_reads"`
+	DRAMWrites      int64 `json:"dram_writes"`
+	BankConflicts   int64 `json:"bank_conflicts"`
+	SQFullStalls    int64 `json:"sq_full_stalls"`
+	MissClusters    int64 `json:"miss_clusters"`
+	DVFSTransitions int64 `json:"dvfs_transitions"`
+	GCMinor         int64 `json:"gc_minor"`
+	GCMajor         int64 `json:"gc_major"`
+	Epochs          int64 `json:"epochs"`
+}
+
+// HistogramDoc is one exported histogram. Bounds are inclusive upper
+// bucket bounds in picoseconds; counts has one extra overflow bucket.
+type HistogramDoc struct {
+	Name     string   `json:"name"`
+	Unit     string   `json:"unit"`
+	BoundsPS []int64  `json:"bounds_ps"`
+	Counts   []uint64 `json:"counts"`
+	Count    uint64   `json:"count"`
+	SumPS    int64    `json:"sum_ps"`
+	MinPS    int64    `json:"min_ps"`
+	MaxPS    int64    `json:"max_ps"`
+}
+
+// SpanDoc is one stop-the-world window.
+type SpanDoc struct {
+	StartPS int64 `json:"start_ps"`
+	EndPS   int64 `json:"end_ps"`
+	Major   bool  `json:"major"`
+}
+
+// FreqChangeDoc is one applied DVFS transition.
+type FreqChangeDoc struct {
+	AtPS    int64 `json:"at_ps"`
+	Core    int   `json:"core"`
+	FreqMHz int64 `json:"freq_mhz"`
+}
+
+// DRAMPointDoc is one per-quantum memory activity slice.
+type DRAMPointDoc struct {
+	AtPS      int64   `json:"at_ps"`
+	Reads     uint64  `json:"reads"`
+	Writes    uint64  `json:"writes"`
+	Conflicts uint64  `json:"conflicts"`
+	BusUtil   float64 `json:"bus_util"`
+}
+
+// PredictionDoc carries the prediction-error telemetry: the run-level
+// summary, the per-epoch component breakdown, and the energy manager's
+// per-quantum decisions when the run was governed.
+type PredictionDoc struct {
+	Model       string           `json:"model"`
+	BaseMHz     int64            `json:"base_mhz"`
+	TargetMHz   int64            `json:"target_mhz"`
+	PredictedPS int64            `json:"predicted_ps"`
+	ActualPS    int64            `json:"actual_ps"`
+	RelError    float64          `json:"rel_error"`
+	CPITruth    float64          `json:"cpi_truth"`
+	Components  ComponentsDoc    `json:"components"`
+	Epochs      []EpochErrorDoc  `json:"epochs"`
+	Quantums    []QuantumPredDoc `json:"quantums"`
+}
+
+// ComponentsDoc is the aggregate component split of a prediction.
+type ComponentsDoc struct {
+	PipelinePS int64 `json:"pipeline_ps"`
+	MemoryPS   int64 `json:"memory_ps"`
+	BurstPS    int64 `json:"burst_ps"`
+	IdlePS     int64 `json:"idle_ps"`
+}
+
+// EpochErrorDoc is one epoch's exported telemetry.
+type EpochErrorDoc struct {
+	StartPS    int64   `json:"start_ps"`
+	DurPS      int64   `json:"dur_ps"`
+	PredPS     int64   `json:"pred_ps"`
+	Instrs     int64   `json:"instrs"`
+	PipelinePS int64   `json:"pipeline_ps"`
+	MemoryPS   int64   `json:"memory_ps"`
+	BurstPS    int64   `json:"burst_ps"`
+	IdlePS     int64   `json:"idle_ps"`
+	CPIBase    float64 `json:"cpi_base"`
+	CPIPred    float64 `json:"cpi_pred"`
+	CPIDelta   float64 `json:"cpi_delta"`
+}
+
+// QuantumPredDoc is one governed-run decision record.
+type QuantumPredDoc struct {
+	AtPS         int64 `json:"at_ps"`
+	FreqMHz      int64 `json:"freq_mhz"`
+	PredMaxPS    int64 `json:"pred_max_ps"`
+	PredChosenPS int64 `json:"pred_chosen_ps"`
+	Epochs       int   `json:"epochs"`
+}
+
+// histDoc converts one histogram for export.
+func histDoc(name string, h *Histogram) HistogramDoc {
+	return HistogramDoc{
+		Name:     name,
+		Unit:     "ps",
+		BoundsPS: h.bounds,
+		Counts:   h.counts,
+		Count:    h.n,
+		SumPS:    h.sum,
+		MinPS:    h.min,
+		MaxPS:    h.max,
+	}
+}
+
+// Export builds the registry's document. The histogram order, like every
+// field name, is part of the schema contract.
+func (r *Registry) Export() Document {
+	if r == nil {
+		return Document{Version: FormatVersion}
+	}
+	doc := Document{
+		Version:  FormatVersion,
+		Workload: r.workload,
+		FreqMHz:  int64(r.freq),
+		Counters: CountersDoc{
+			DRAMReads:       r.n.DRAMReads,
+			DRAMWrites:      r.n.DRAMWrites,
+			BankConflicts:   r.n.BankConflicts,
+			SQFullStalls:    r.n.SQFullStalls,
+			MissClusters:    r.n.MissClusters,
+			DVFSTransitions: r.n.DVFSTransitions,
+			GCMinor:         r.n.GCMinor,
+			GCMajor:         r.n.GCMajor,
+			Epochs:          r.n.Epochs,
+		},
+		Histograms: []HistogramDoc{
+			histDoc("dram_read_latency", &r.dramReadLat),
+			histDoc("dram_write_latency", &r.dramWriteLat),
+			histDoc("epoch_duration", &r.epochDur),
+			histDoc("gc_stw_pause", &r.gcPause),
+			histDoc("sq_full_stall", &r.sqStall),
+			histDoc("miss_cluster_critical_path", &r.missCluster),
+		},
+		GCStwSpans:  make([]SpanDoc, 0, len(r.gcSpans)),
+		FreqChanges: make([]FreqChangeDoc, 0, len(r.freqChanges)),
+		DRAMSeries:  make([]DRAMPointDoc, 0, len(r.dramSeries)),
+	}
+	for _, s := range r.gcSpans {
+		doc.GCStwSpans = append(doc.GCStwSpans, SpanDoc{
+			StartPS: int64(s.Start), EndPS: int64(s.End), Major: s.Major,
+		})
+	}
+	for _, c := range r.freqChanges {
+		doc.FreqChanges = append(doc.FreqChanges, FreqChangeDoc{
+			AtPS: int64(c.At), Core: c.Core, FreqMHz: int64(c.Freq),
+		})
+	}
+	for _, p := range r.dramSeries {
+		doc.DRAMSeries = append(doc.DRAMSeries, DRAMPointDoc{
+			AtPS: int64(p.At), Reads: p.Reads, Writes: p.Writes,
+			Conflicts: p.Conflicts, BusUtil: p.BusUtilization,
+		})
+	}
+	if r.summary != nil || len(r.epochErrs) > 0 || len(r.quantums) > 0 {
+		pd := &PredictionDoc{
+			Epochs:   make([]EpochErrorDoc, 0, len(r.epochErrs)),
+			Quantums: make([]QuantumPredDoc, 0, len(r.quantums)),
+		}
+		if s := r.summary; s != nil {
+			pd.Model = s.Model
+			pd.BaseMHz = int64(s.Base)
+			pd.TargetMHz = int64(s.Target)
+			pd.PredictedPS = int64(s.Predicted)
+			pd.ActualPS = int64(s.Actual)
+			pd.CPITruth = s.CPITruth
+			if s.Actual > 0 {
+				pd.RelError = float64(s.Predicted)/float64(s.Actual) - 1
+			}
+		}
+		var comp ComponentsDoc
+		for _, e := range r.epochErrs {
+			pd.Epochs = append(pd.Epochs, EpochErrorDoc{
+				StartPS:    int64(e.Start),
+				DurPS:      int64(e.Dur),
+				PredPS:     int64(e.Pred),
+				Instrs:     e.Instrs,
+				PipelinePS: int64(e.Pipeline),
+				MemoryPS:   int64(e.Memory),
+				BurstPS:    int64(e.Burst),
+				IdlePS:     int64(e.Idle),
+				CPIBase:    e.CPIBase,
+				CPIPred:    e.CPIPred,
+				CPIDelta:   e.CPIPred - e.CPIBase,
+			})
+			comp.PipelinePS += int64(e.Pipeline)
+			comp.MemoryPS += int64(e.Memory)
+			comp.BurstPS += int64(e.Burst)
+			comp.IdlePS += int64(e.Idle)
+		}
+		pd.Components = comp
+		for _, q := range r.quantums {
+			pd.Quantums = append(pd.Quantums, QuantumPredDoc{
+				AtPS:         int64(q.At),
+				FreqMHz:      int64(q.Freq),
+				PredMaxPS:    int64(q.PredMax),
+				PredChosenPS: int64(q.PredChosen),
+				Epochs:       q.Epochs,
+			})
+		}
+		doc.Prediction = pd
+	}
+	return doc
+}
+
+// WriteJSON writes the registry's document as deterministic, indented
+// JSON. Output is byte-identical for identical registries: the document is
+// built from structs (no map iteration order involved).
+func (r *Registry) WriteJSON(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(r.Export()); err != nil {
+		return fmt.Errorf("metrics: encode: %w", err)
+	}
+	return bw.Flush()
+}

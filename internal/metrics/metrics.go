@@ -1,0 +1,374 @@
+// Package metrics is the simulator's per-run observability layer: a
+// Registry of zero-alloc-on-hot-path counters and fixed-bucket histograms,
+// threaded through the machine assembly (sim), the core model (cpu), the
+// memory system (mem), the managed runtime (jvm) and the energy manager
+// (energy).
+//
+// A nil *Registry is the disabled state: every recording method is a no-op
+// on a nil receiver, so instrumented hot loops pay a single predictable
+// branch when observability is off (guarded by AllocsPerRun tests next to
+// the event-engine and DRAM benchmarks). When enabled, the hot-path
+// observations (histogram Observe, counter increments) are allocation-free
+// too; only the cold timeline records (GC spans, DVFS transitions,
+// per-quantum series) append to slices.
+//
+// All data a Registry collects is produced inside one simulation's
+// single-threaded event loop, so a run's registry is deterministic
+// regardless of how many runs execute concurrently, and the exported JSON
+// document (WriteJSON) is byte-identical across -j settings.
+package metrics
+
+import "depburst/internal/units"
+
+// Histogram is a fixed-bucket histogram over int64 samples (picosecond
+// durations throughout the simulator). Bucket i counts samples v with
+// v <= bounds[i]; the final implicit bucket counts everything larger.
+// Observe is allocation-free.
+type Histogram struct {
+	bounds []int64
+	counts []uint64
+	n      uint64
+	sum    int64
+	min    int64
+	max    int64
+}
+
+// newHistogram builds a histogram with the given ascending upper bounds.
+func newHistogram(bounds []int64) Histogram {
+	return Histogram{
+		bounds: bounds,
+		counts: make([]uint64, len(bounds)+1),
+	}
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v int64) {
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.counts[i]++
+	if h.n == 0 || v < h.min {
+		h.min = v
+	}
+	if h.n == 0 || v > h.max {
+		h.max = v
+	}
+	h.n++
+	h.sum += v
+}
+
+// Count returns the number of samples observed.
+func (h *Histogram) Count() uint64 { return h.n }
+
+// Sum returns the sum of all observed samples.
+func (h *Histogram) Sum() int64 { return h.sum }
+
+// Mean returns the average sample, or 0 with no samples.
+func (h *Histogram) Mean() float64 {
+	if h.n == 0 {
+		return 0
+	}
+	return float64(h.sum) / float64(h.n)
+}
+
+// Counts is the registry's named event counters. They complement the
+// simulator's own statistics with the observability-specific tallies the
+// exported document reports.
+type Counts struct {
+	DRAMReads       int64 // demand reads serviced by the DRAM model
+	DRAMWrites      int64 // buffered writes drained by the DRAM model
+	BankConflicts   int64 // row-buffer conflicts (precharge needed)
+	SQFullStalls    int64 // commit stalls on a full store queue (BURST)
+	MissClusters    int64 // in-ROB long-latency miss clusters
+	DVFSTransitions int64 // frequency changes applied (chip or core)
+	GCMinor         int64 // minor stop-the-world collections
+	GCMajor         int64 // major stop-the-world collections
+	Epochs          int64 // synchronization epochs recorded
+}
+
+// FreqChange is one applied DVFS transition. Core is the core index, or -1
+// for a chip-wide transition.
+type FreqChange struct {
+	At   units.Time
+	Core int
+	Freq units.Freq
+}
+
+// Span is one stop-the-world garbage-collection window.
+type Span struct {
+	Start, End units.Time
+	Major      bool
+}
+
+// DRAMPoint is one sampling-quantum slice of memory-system activity, for
+// counter tracks on the exported timeline.
+type DRAMPoint struct {
+	At             units.Time
+	Reads, Writes  uint64
+	Conflicts      uint64
+	BusUtilization float64
+}
+
+// QuantumPred is the energy manager's per-quantum prediction telemetry:
+// what it predicted the elapsed interval would take at the maximum and at
+// the chosen frequency when it made its decision.
+type QuantumPred struct {
+	At         units.Time
+	Freq       units.Freq
+	PredMax    units.Time
+	PredChosen units.Time
+	Epochs     int
+}
+
+// EpochError is one epoch's prediction-error telemetry: the predicted
+// duration and its pipeline (scaling), memory (non-scaling CRIT) and burst
+// (store-queue) components at the target frequency, plus the CPI the
+// predictor implies versus the CPI measured at the base frequency.
+type EpochError struct {
+	Start    units.Time
+	Dur      units.Time // measured duration at the base frequency
+	Pred     units.Time // predicted duration at the target frequency
+	Instrs   int64
+	Pipeline units.Time // frequency-scaling component of the prediction
+	Memory   units.Time // non-scaling memory component (CRIT/LL/STALL)
+	Burst    units.Time // non-scaling store-burst component (SQ full)
+	Idle     units.Time // scheduler/idle time that does not scale
+	CPIBase  float64    // measured cycles per instruction at base
+	CPIPred  float64    // predicted cycles per instruction at target
+}
+
+// PredictionSummary ties a run's per-epoch telemetry to the ground truth:
+// the total predicted time at the target frequency versus the measured
+// truth run, and the aggregate component split.
+type PredictionSummary struct {
+	Model     string
+	Base      units.Freq
+	Target    units.Freq
+	Predicted units.Time
+	Actual    units.Time // 0 when no truth run is available
+	CPITruth  float64    // measured cycles per instruction of the truth run
+}
+
+// Registry collects one run's observability data. The zero value is not
+// usable; construct with NewRegistry. A nil *Registry disables every
+// method, which is the fast path the simulator hot loops take by default.
+type Registry struct {
+	workload string
+	freq     units.Freq
+
+	// Histograms over the run. Bucket bounds are fixed at construction so
+	// two runs of the same build always export comparable documents.
+	dramReadLat  Histogram // demand-read latency, ps
+	dramWriteLat Histogram // buffered-write drain latency, ps
+	epochDur     Histogram // synchronization epoch durations, ps
+	gcPause      Histogram // stop-the-world pause durations, ps
+	sqStall      Histogram // store-queue-full commit stalls, ps
+	missCluster  Histogram // critical-path latency per miss cluster, ps
+
+	n Counts
+
+	freqChanges []FreqChange
+	gcSpans     []Span
+	dramSeries  []DRAMPoint
+	quantums    []QuantumPred
+	epochErrs   []EpochError
+	summary     *PredictionSummary
+}
+
+// Fixed bucket bounds (picoseconds). Chosen to resolve the phenomena the
+// paper's predictors key on: DRAM row hits (~25 ns) vs conflicts
+// (~50-60 ns) vs queueing tails, microsecond-scale GC pauses and epochs.
+var (
+	latBounds = []int64{
+		10_000, 20_000, 30_000, 40_000, 50_000, 60_000, 80_000, 100_000,
+		150_000, 200_000, 300_000, 500_000, 750_000, 1_000_000, 2_000_000,
+	}
+	durBounds = []int64{
+		100_000, 250_000, 500_000, 1_000_000, 2_500_000, 5_000_000,
+		10_000_000, 25_000_000, 50_000_000, 100_000_000, 250_000_000,
+		500_000_000, 1_000_000_000, 5_000_000_000, 25_000_000_000,
+	}
+)
+
+// NewRegistry returns an enabled registry with the standard histogram
+// geometry.
+func NewRegistry() *Registry {
+	return &Registry{
+		dramReadLat:  newHistogram(latBounds),
+		dramWriteLat: newHistogram(latBounds),
+		epochDur:     newHistogram(durBounds),
+		gcPause:      newHistogram(durBounds),
+		sqStall:      newHistogram(latBounds),
+		missCluster:  newHistogram(latBounds),
+	}
+}
+
+// SetRun labels the registry with the run it observed.
+func (r *Registry) SetRun(workload string, f units.Freq) {
+	if r == nil {
+		return
+	}
+	r.workload = workload
+	r.freq = f
+}
+
+// Counts returns the registry's counter snapshot (zero value when disabled).
+func (r *Registry) Counts() Counts {
+	if r == nil {
+		return Counts{}
+	}
+	return r.n
+}
+
+// ObserveDRAM records one DRAM access: its wall-clock latency and whether
+// it hit a row-buffer conflict. Hot path: called for every access the DRAM
+// model services.
+func (r *Registry) ObserveDRAM(write bool, lat units.Time, conflict bool) {
+	if r == nil {
+		return
+	}
+	if write {
+		r.n.DRAMWrites++
+		r.dramWriteLat.Observe(int64(lat))
+	} else {
+		r.n.DRAMReads++
+		r.dramReadLat.Observe(int64(lat))
+	}
+	if conflict {
+		r.n.BankConflicts++
+	}
+}
+
+// ObserveSQStall records one store-queue-full commit stall (the BURST
+// phenomenon). Hot path: called from the core's store-commit loop.
+func (r *Registry) ObserveSQStall(d units.Time) {
+	if r == nil {
+		return
+	}
+	r.n.SQFullStalls++
+	r.sqStall.Observe(int64(d))
+}
+
+// ObserveMissCluster records the critical-path latency of one in-ROB
+// long-latency miss cluster (what CRIT accumulates). Hot path.
+func (r *Registry) ObserveMissCluster(critPath units.Time) {
+	if r == nil {
+		return
+	}
+	r.n.MissClusters++
+	r.missCluster.Observe(int64(critPath))
+}
+
+// ObserveEpoch records one synchronization epoch's duration.
+func (r *Registry) ObserveEpoch(d units.Time) {
+	if r == nil {
+		return
+	}
+	r.n.Epochs++
+	r.epochDur.Observe(int64(d))
+}
+
+// RecordFreqChange records an applied DVFS transition (core -1 when
+// chip-wide).
+func (r *Registry) RecordFreqChange(at units.Time, core int, f units.Freq) {
+	if r == nil {
+		return
+	}
+	r.n.DVFSTransitions++
+	r.freqChanges = append(r.freqChanges, FreqChange{At: at, Core: core, Freq: f})
+}
+
+// RecordGCSpan records one stop-the-world collection window.
+func (r *Registry) RecordGCSpan(start, end units.Time, major bool) {
+	if r == nil {
+		return
+	}
+	if major {
+		r.n.GCMajor++
+	} else {
+		r.n.GCMinor++
+	}
+	r.gcPause.Observe(int64(end - start))
+	r.gcSpans = append(r.gcSpans, Span{Start: start, End: end, Major: major})
+}
+
+// RecordDRAMPoint records one sampling-quantum slice of memory activity.
+func (r *Registry) RecordDRAMPoint(p DRAMPoint) {
+	if r == nil {
+		return
+	}
+	r.dramSeries = append(r.dramSeries, p)
+}
+
+// RecordQuantumPred records the energy manager's per-quantum prediction.
+func (r *Registry) RecordQuantumPred(q QuantumPred) {
+	if r == nil {
+		return
+	}
+	r.quantums = append(r.quantums, q)
+}
+
+// RecordEpochError records one epoch's prediction-error telemetry.
+func (r *Registry) RecordEpochError(e EpochError) {
+	if r == nil {
+		return
+	}
+	r.epochErrs = append(r.epochErrs, e)
+}
+
+// SetPredictionSummary attaches the run-level predicted-vs-truth summary.
+func (r *Registry) SetPredictionSummary(s PredictionSummary) {
+	if r == nil {
+		return
+	}
+	r.summary = &s
+}
+
+// GCSpans returns the recorded stop-the-world windows.
+func (r *Registry) GCSpans() []Span {
+	if r == nil {
+		return nil
+	}
+	return r.gcSpans
+}
+
+// FreqChanges returns the recorded DVFS transitions.
+func (r *Registry) FreqChanges() []FreqChange {
+	if r == nil {
+		return nil
+	}
+	return r.freqChanges
+}
+
+// DRAMSeries returns the per-quantum memory activity slices.
+func (r *Registry) DRAMSeries() []DRAMPoint {
+	if r == nil {
+		return nil
+	}
+	return r.dramSeries
+}
+
+// QuantumPreds returns the energy manager's per-quantum telemetry.
+func (r *Registry) QuantumPreds() []QuantumPred {
+	if r == nil {
+		return nil
+	}
+	return r.quantums
+}
+
+// EpochErrors returns the per-epoch prediction-error telemetry.
+func (r *Registry) EpochErrors() []EpochError {
+	if r == nil {
+		return nil
+	}
+	return r.epochErrs
+}
+
+// Summary returns the predicted-vs-truth summary, or nil.
+func (r *Registry) Summary() *PredictionSummary {
+	if r == nil {
+		return nil
+	}
+	return r.summary
+}

@@ -11,6 +11,7 @@ import (
 	"depburst/internal/jvm"
 	"depburst/internal/kernel"
 	"depburst/internal/mem"
+	"depburst/internal/metrics"
 	"depburst/internal/power"
 	"depburst/internal/rng"
 	"depburst/internal/units"
@@ -29,6 +30,11 @@ type Config struct {
 	// TransitionLatency is the cost of one DVFS transition (paper: 2 µs).
 	TransitionLatency units.Time
 	Seed              uint64
+	// Metrics, when non-nil, is the per-run observability registry the
+	// machine threads through the core, memory, runtime and energy
+	// layers. nil (the default) disables observability at zero hot-path
+	// cost.
+	Metrics *metrics.Registry
 }
 
 // DefaultConfig mirrors the paper's Table II quad-core machine with the
@@ -162,6 +168,11 @@ type Machine struct {
 	lastEpochIdx int
 	lastSampleAt units.Time
 	idleQuanta   int
+
+	reg           *metrics.Registry
+	lastReads     uint64
+	lastWrites    uint64
+	lastConflicts uint64
 }
 
 // maxIdleQuanta bounds how many consecutive quanta may pass with zero
@@ -198,8 +209,16 @@ func New(cfg Config) *Machine {
 		Rng:         r,
 		freq:        cfg.Freq,
 		lastCoreCtr: make([]cpu.Counters, cfg.Cores),
+		reg:         cfg.Metrics,
+	}
+	if m.reg != nil {
+		hier.SetMetrics(m.reg)
+		for _, c := range cores {
+			c.SetMetrics(m.reg)
+		}
 	}
 	m.JVM = jvm.New(kern, hier, cfg.JVM, r.Fork(0x14))
+	m.JVM.SetMetrics(m.reg)
 	return m
 }
 
@@ -208,11 +227,17 @@ func New(cfg Config) *Machine {
 // spawned with Kern.SpawnGroup using the returned instance's Group.
 func (m *Machine) NewJVM(cfg jvm.Config) *jvm.JVM {
 	m.tenants++
-	return jvm.NewGroup(m.Kern, m.Hier, cfg, m.Rng.Fork(0x14+uint64(m.tenants)), m.tenants)
+	j := jvm.NewGroup(m.Kern, m.Hier, cfg, m.Rng.Fork(0x14+uint64(m.tenants)), m.tenants)
+	j.SetMetrics(m.reg)
+	return j
 }
 
 // Config returns the machine's configuration.
 func (m *Machine) Config() Config { return m.cfg }
+
+// Metrics returns the machine's observability registry (nil when
+// disabled). Governors use it to record decision telemetry.
+func (m *Machine) Metrics() *metrics.Registry { return m.reg }
 
 // Freq returns the chip-wide frequency setting (with per-core DVFS, the
 // frequency of core 0).
@@ -239,6 +264,7 @@ func (m *Machine) SetFreq(f units.Freq) {
 	}
 	m.freq = f
 	m.chargeTransition(f, m.cfg.Cores)
+	m.reg.RecordFreqChange(m.Eng.Now(), -1, f)
 }
 
 // SetCoreFreq applies a DVFS transition to a single core.
@@ -251,6 +277,7 @@ func (m *Machine) SetCoreFreq(core int, f units.Freq) {
 		m.freq = f
 	}
 	m.chargeTransition(f, 1)
+	m.reg.RecordFreqChange(m.Eng.Now(), core, f)
 }
 
 func (m *Machine) chargeTransition(f units.Freq, cores int) {
@@ -267,6 +294,13 @@ func (m *Machine) Run(w Workload) (Result, error) {
 	m.Eng.Schedule(m.cfg.Quantum, m.quantum)
 	_, err := m.Kern.Run()
 	m.sample(m.Kern.AppEndTime()) // close the final partial quantum
+
+	if m.reg != nil {
+		m.reg.SetRun(w.Name(), m.cfg.Freq)
+		for i := range m.Kern.Recorder().Epochs() {
+			m.reg.ObserveEpoch(m.Kern.Recorder().Epochs()[i].Duration())
+		}
+	}
 
 	res := Result{
 		Workload:           w.Name(),
@@ -347,6 +381,17 @@ func (m *Machine) sample(now units.Time) QuantumSample {
 	dram := d.Reads + d.Writes
 	dramDelta := dram - m.lastDRAM
 	m.lastDRAM = dram
+
+	if m.reg != nil {
+		m.reg.RecordDRAMPoint(metrics.DRAMPoint{
+			At:             now,
+			Reads:          d.Reads - m.lastReads,
+			Writes:         d.Writes - m.lastWrites,
+			Conflicts:      d.Conflicts - m.lastConflicts,
+			BusUtilization: d.BusUtilization(),
+		})
+		m.lastReads, m.lastWrites, m.lastConflicts = d.Reads, d.Writes, d.Conflicts
+	}
 
 	dur := now - m.lastSampleAt
 
