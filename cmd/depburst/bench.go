@@ -10,13 +10,15 @@ import (
 	"time"
 
 	"depburst/internal/experiments"
+	"depburst/internal/simcache"
 	"depburst/internal/units"
 )
 
 // benchDoc is the machine-readable record `depburst bench` emits, the
 // anchor point of the performance trajectory: wall time of the full
 // experiment suite, speedup of the parallel engine over the serial
-// baseline, and whether the two produced byte-identical tables.
+// baseline, cold-vs-warm wall time through the persistent result cache,
+// and whether every mode produced byte-identical tables.
 type benchDoc struct {
 	Schema          string  `json:"schema"`
 	GOMAXPROCS      int     `json:"gomaxprocs"`
@@ -29,16 +31,28 @@ type benchDoc struct {
 	Deterministic   *bool   `json:"deterministic,omitempty"`
 	OutputBytes     int     `json:"output_bytes"`
 	UnixTimeSeconds int64   `json:"unix_time_seconds"`
+
+	// Persistent-cache phase: the suite rendered once against an empty
+	// cache directory (cold, populating) and once against the populated
+	// one (warm, pure deserialization).
+	CacheColdSeconds   float64 `json:"cache_cold_seconds,omitempty"`
+	CacheWarmSeconds   float64 `json:"cache_warm_seconds,omitempty"`
+	CacheSpeedup       float64 `json:"cache_speedup,omitempty"`
+	CacheDeterministic *bool   `json:"cache_deterministic,omitempty"`
+	CacheEntries       int     `json:"cache_entries,omitempty"`
+	CacheBytes         int64   `json:"cache_bytes,omitempty"`
 }
 
-// cmdBench times the full experiment suite through the parallel engine
-// and, unless -baseline=false, through a serial (-j 1) runner too, checks
-// the outputs are byte-identical, and writes the result as JSON.
+// cmdBench times the full experiment suite through the parallel engine,
+// through a serial (-j 1) runner (unless -baseline=false), and cold/warm
+// through a fresh persistent cache (unless -cachecheck=false), checks that
+// every mode's output is byte-identical, and writes the result as JSON.
 func cmdBench(args []string, workers int) {
 	fs := flag.NewFlagSet("bench", flag.ExitOnError)
 	step := fs.Int("step", 500, "static sweep step in MHz for Figure 7")
 	out := fs.String("o", "BENCH_suite.json", "output file")
 	baseline := fs.Bool("baseline", true, "also run serially (-j 1) to measure speedup and verify determinism")
+	cachecheck := fs.Bool("cachecheck", true, "also run cold+warm through a temporary persistent cache to measure the warm-rerun speedup and verify byte-identity")
 	fs.Parse(args)
 
 	if workers <= 0 {
@@ -46,8 +60,9 @@ func cmdBench(args []string, workers int) {
 	}
 
 	nTables := 0
-	render := func(n int) (string, time.Duration) {
+	render := func(n int, disk *simcache.Store) (string, time.Duration) {
 		r := experiments.NewRunnerWorkers(n)
+		r.SetDiskCache(disk)
 		start := time.Now()
 		tables := suiteTables(r, units.Freq(*step))
 		var b strings.Builder
@@ -60,7 +75,7 @@ func cmdBench(args []string, workers int) {
 
 	fmt.Fprintf(os.Stderr, "bench: full suite, %d workers (GOMAXPROCS %d)...\n",
 		workers, runtime.GOMAXPROCS(0))
-	parText, parDur := render(workers)
+	parText, parDur := render(workers, nil)
 	fmt.Fprintf(os.Stderr, "bench: parallel run %.2fs\n", parDur.Seconds())
 
 	doc := benchDoc{
@@ -76,7 +91,7 @@ func cmdBench(args []string, workers int) {
 	diverged := false
 	if *baseline {
 		fmt.Fprintf(os.Stderr, "bench: serial baseline (-j 1)...\n")
-		serText, serDur := render(1)
+		serText, serDur := render(1, nil)
 		det := parText == serText
 		doc.SerialSeconds = serDur.Seconds()
 		doc.Speedup = serDur.Seconds() / parDur.Seconds()
@@ -85,6 +100,35 @@ func cmdBench(args []string, workers int) {
 			serDur.Seconds(), doc.Speedup, det)
 		if !det {
 			fmt.Fprintln(os.Stderr, "bench: ERROR: parallel output differs from serial output")
+			diverged = true
+		}
+	}
+	if *cachecheck {
+		dir, err := os.MkdirTemp("", "depburst-bench-cache-")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer os.RemoveAll(dir)
+		st, err := simcache.Open(dir, 0)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "bench: cold run into %s...\n", dir)
+		coldText, coldDur := render(workers, st)
+		fmt.Fprintf(os.Stderr, "bench: cold run %.2fs; warm rerun...\n", coldDur.Seconds())
+		warmText, warmDur := render(workers, st)
+		det := coldText == parText && warmText == parText
+		doc.CacheColdSeconds = coldDur.Seconds()
+		doc.CacheWarmSeconds = warmDur.Seconds()
+		doc.CacheSpeedup = coldDur.Seconds() / warmDur.Seconds()
+		doc.CacheDeterministic = &det
+		doc.CacheEntries, doc.CacheBytes, _ = st.Size()
+		fmt.Fprintf(os.Stderr, "bench: warm run %.2fs, warm speedup %.2fx, deterministic=%v (%d entries, %.1f MB)\n",
+			warmDur.Seconds(), doc.CacheSpeedup, det, doc.CacheEntries, float64(doc.CacheBytes)/1e6)
+		if !det {
+			fmt.Fprintln(os.Stderr, "bench: ERROR: cached output differs from uncached output")
 			diverged = true
 		}
 	}

@@ -23,6 +23,7 @@ import (
 	"depburst/internal/obsio"
 	"depburst/internal/report"
 	"depburst/internal/sim"
+	"depburst/internal/simcache"
 	"depburst/internal/tracefmt"
 	"depburst/internal/units"
 	"depburst/internal/viz"
@@ -83,12 +84,17 @@ func suiteTables(r *experiments.Runner, step units.Freq) []*report.Table {
 }
 
 func usage() {
-	fmt.Fprintf(os.Stderr, `usage: depburst [-json] [-j N] <command> [flags]
+	fmt.Fprintf(os.Stderr, `usage: depburst [-json] [-j N] [-cache DIR] <command> [flags]
 
 global flags:
   -json             emit tables as JSON instead of aligned text
   -j N, -parallel N simulation worker-pool size (default GOMAXPROCS);
                     output is byte-identical at any N
+  -cache DIR        persistent simulation-result cache (default: the
+                    DEPBURST_CACHE environment variable; empty disables).
+                    A warm rerun deserialises instead of simulating and is
+                    byte-identical to a cold run. DEPBURST_CACHE_MAX_MB
+                    caps the cache size (LRU, default 4096)
 
 commands:
   table1            benchmark characteristics at 1 GHz (Table I)
@@ -144,9 +150,31 @@ func emit(t *report.Table) {
 	t.Fprint(os.Stdout)
 }
 
+// openCache opens the persistent result store at dir, honouring the
+// DEPBURST_CACHE_MAX_MB size cap. Failures disable caching with a warning
+// instead of failing the run.
+func openCache(dir string) *simcache.Store {
+	var maxBytes int64
+	if mb := os.Getenv("DEPBURST_CACHE_MAX_MB"); mb != "" {
+		n, err := strconv.ParseInt(mb, 10, 64)
+		if err != nil || n <= 0 {
+			fmt.Fprintf(os.Stderr, "depburst: ignoring invalid DEPBURST_CACHE_MAX_MB=%q\n", mb)
+		} else {
+			maxBytes = n << 20
+		}
+	}
+	st, err := simcache.Open(dir, maxBytes)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "depburst: cache disabled: %v\n", err)
+		return nil
+	}
+	return st
+}
+
 func main() {
 	argv := os.Args[1:]
 	workers := 0 // 0 = GOMAXPROCS default
+	cacheDir := os.Getenv("DEPBURST_CACHE")
 global:
 	for len(argv) > 0 {
 		arg := argv[0]
@@ -164,6 +192,15 @@ global:
 			_, v, _ := strings.Cut(arg, "=")
 			workers = parseWorkers(v)
 			argv = argv[1:]
+		case arg == "-cache":
+			if len(argv) < 2 {
+				usage()
+			}
+			cacheDir = argv[1]
+			argv = argv[2:]
+		case strings.HasPrefix(arg, "-cache="):
+			_, cacheDir, _ = strings.Cut(arg, "=")
+			argv = argv[1:]
 		default:
 			break global
 		}
@@ -176,6 +213,11 @@ global:
 	r := experiments.NewRunner()
 	if workers > 0 {
 		r.SetWorkers(workers)
+	}
+	if cacheDir != "" {
+		if st := openCache(cacheDir); st != nil {
+			r.SetDiskCache(st)
+		}
 	}
 
 	switch cmd {

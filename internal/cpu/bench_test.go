@@ -32,6 +32,19 @@ func runSteadyState(c *Core) func() {
 	return step
 }
 
+// BenchmarkCoreRun measures the per-block simulation hot loop end to end:
+// dispatch timing, the miss-cluster MSHR heap, store-queue drain, and the
+// shared hierarchy underneath.
+func BenchmarkCoreRun(b *testing.B) {
+	core, _ := testCore(2000 * units.MHz)
+	step := runSteadyState(core)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		step()
+	}
+}
+
 // TestCoreRunZeroAllocs locks the whole per-block simulation path — block
 // timing, miss clustering, store-queue bookkeeping, counter updates — at
 // zero steady-state heap allocations, with observability disabled (the

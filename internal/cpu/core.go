@@ -61,8 +61,17 @@ type Core struct {
 	// non-decreasing because the drain is in-order.
 	sq []float64
 
-	// scratch buffer for outstanding miss completion times (MSHR model).
-	outstanding []float64
+	// outstanding tracks in-flight miss completion times (MSHR model) as
+	// a fixed-capacity min-heap, so the at-capacity wait is O(log MSHRs)
+	// instead of a linear scan per event.
+	outstanding minHeap
+
+	// period/sqDrainPs cache the per-cycle wall time (and the L2 store
+	// drain occupancy derived from it) for cachedFreq, so blocks and
+	// stores under an unchanged DVFS setting skip the divisions.
+	cachedFreq units.Freq
+	period     float64
+	sqDrainPs  float64
 
 	// reg, when non-nil, receives miss-cluster and store-queue stall
 	// observations. The nil fast path costs one branch per event
@@ -76,7 +85,22 @@ func NewCore(id int, cfg Config, clock *units.Clock, hier *mem.Hierarchy) *Core 
 	if cfg.DispatchWidth <= 0 || cfg.ROBSize <= 0 || cfg.StoreQueueSize <= 0 || cfg.MSHRs <= 0 {
 		panic("cpu: invalid core configuration")
 	}
-	return &Core{id: id, cfg: cfg, clock: clock, hier: hier}
+	c := &Core{id: id, cfg: cfg, clock: clock, hier: hier}
+	c.outstanding.a = make([]float64, 0, cfg.MSHRs)
+	return c
+}
+
+// periodFor returns the wall-clock picoseconds per cycle at the core's
+// current frequency, recomputing (and re-deriving the L2 store-drain
+// occupancy) only when a DVFS transition changed the clock since the last
+// block.
+func (c *Core) periodFor() float64 {
+	if f := c.clock.Freq(); f != c.cachedFreq {
+		c.cachedFreq = f
+		c.period = 1e6 / float64(f)
+		c.sqDrainPs = float64(c.cfg.SQDrainL2Cycles) * c.period
+	}
+	return c.period
 }
 
 // ID returns the core's index.
@@ -108,7 +132,7 @@ func (c *Core) Run(start units.Time, b *Block, ctr *Counters) units.Time {
 	// never touches Active, which AddActive owns).
 	pre := *ctr
 	defer func() { c.total.Add(ctr.Sub(pre)) }()
-	period := 1e6 / float64(c.clock.Freq()) // picoseconds per cycle
+	period := c.periodFor() // picoseconds per cycle
 	ipc := b.IPC
 	if w := float64(c.cfg.DispatchWidth); ipc > w {
 		ipc = w
@@ -181,7 +205,8 @@ func (c *Core) cluster(t float64, b *Block, i int, headRes mem.Result, dispatchP
 	maxChainPath := chainPath
 	leadLat := d0 - t0
 
-	c.outstanding = append(c.outstanding[:0], d0)
+	c.outstanding.reset()
+	c.outstanding.push(d0)
 	lastAt := head.At
 
 	j := i + 1
@@ -199,8 +224,8 @@ func (c *Core) cluster(t float64, b *Block, i int, headRes mem.Result, dispatchP
 			}
 		}
 		// MSHR limit: wait for the oldest outstanding miss to retire.
-		if len(c.outstanding) >= c.cfg.MSHRs {
-			if m := popMin(&c.outstanding); issue < m {
+		if c.outstanding.len() >= c.cfg.MSHRs {
+			if m := c.outstanding.popMin(); issue < m {
 				issue = m
 			}
 		}
@@ -225,7 +250,7 @@ func (c *Core) cluster(t float64, b *Block, i int, headRes mem.Result, dispatchP
 		if done > maxDone {
 			maxDone = done
 		}
-		c.outstanding = append(c.outstanding, done)
+		c.outstanding.push(done)
 		lastAt = e.At
 		j++
 	}
@@ -260,9 +285,11 @@ func (c *Core) commitStore(t float64, addr mem.Addr, ctr *Counters) float64 {
 			t = wake
 		}
 		c.drainSQ(t)
-		// Guard against pathological zero-latency retires.
+		// Guard against pathological zero-latency retires. Dequeue by
+		// copying (like drainSQ) so the backing array is reused instead
+		// of leaking a slot per overflow across a long run.
 		if len(c.sq) >= c.cfg.StoreQueueSize {
-			c.sq = c.sq[1:]
+			c.sq = c.sq[:copy(c.sq, c.sq[1:])]
 		}
 	}
 
@@ -273,11 +300,11 @@ func (c *Core) commitStore(t float64, addr mem.Addr, ctr *Counters) float64 {
 	res := c.hier.Store(units.Time(t), c.id, addr)
 	var done float64
 	if res.Level == mem.LevelL2 {
-		period := 1e6 / float64(c.clock.Freq())
-		done = t + float64(c.cfg.SQDrainL2Cycles)*period
+		drain := c.sqDrainPs // cached by periodFor at Run entry
+		done = t + drain
 		if n := len(c.sq); n > 0 {
 			// L2 drain port is serial.
-			prev := c.sq[n-1] + float64(c.cfg.SQDrainL2Cycles)*period
+			prev := c.sq[n-1] + drain
 			if done < prev {
 				done = prev
 			}
@@ -318,16 +345,49 @@ func countLevel(ctr *Counters, l mem.Level) {
 	}
 }
 
-func popMin(s *[]float64) float64 {
-	v := *s
-	mi := 0
-	for i := 1; i < len(v); i++ {
-		if v[i] < v[mi] {
-			mi = i
+// minHeap is a binary min-heap of completion times with a fixed backing
+// array (capacity MSHRs), reused across miss clusters so the MSHR model
+// never allocates and the at-capacity pop is O(log n).
+type minHeap struct{ a []float64 }
+
+func (h *minHeap) len() int { return len(h.a) }
+
+func (h *minHeap) reset() { h.a = h.a[:0] }
+
+func (h *minHeap) push(v float64) {
+	h.a = append(h.a, v)
+	i := len(h.a) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if h.a[p] <= h.a[i] {
+			break
 		}
+		h.a[p], h.a[i] = h.a[i], h.a[p]
+		i = p
 	}
-	m := v[mi]
-	v[mi] = v[len(v)-1]
-	*s = v[:len(v)-1]
+}
+
+func (h *minHeap) popMin() float64 {
+	m := h.a[0]
+	last := len(h.a) - 1
+	h.a[0] = h.a[last]
+	h.a = h.a[:last]
+	// Sift the relocated root down.
+	i := 0
+	for {
+		l := 2*i + 1
+		if l >= last {
+			break
+		}
+		min := l
+		if r := l + 1; r < last && h.a[r] < h.a[l] {
+			min = r
+		}
+		if h.a[i] <= h.a[min] {
+			break
+		}
+		h.a[i], h.a[min] = h.a[min], h.a[i]
+		i = min
+	}
 	return m
 }

@@ -1,0 +1,63 @@
+package cpu
+
+import (
+	"sort"
+	"testing"
+
+	"depburst/internal/rng"
+)
+
+// TestMinHeapOrdering: interleaved pushes and pops must always return the
+// current minimum — the exact value the old linear scan produced — under
+// the MSHR usage pattern (pop only at capacity).
+func TestMinHeapOrdering(t *testing.T) {
+	var h minHeap
+	h.a = make([]float64, 0, 10)
+	r := rng.New(3)
+	var ref []float64
+	for i := 0; i < 10_000; i++ {
+		if h.len() >= 10 {
+			// Reference: linear-scan min with remove.
+			mi := 0
+			for j := 1; j < len(ref); j++ {
+				if ref[j] < ref[mi] {
+					mi = j
+				}
+			}
+			want := ref[mi]
+			ref[mi] = ref[len(ref)-1]
+			ref = ref[:len(ref)-1]
+			if got := h.popMin(); got != want {
+				t.Fatalf("op %d: popMin = %v, want %v", i, got, want)
+			}
+		}
+		v := float64(r.Int63n(1 << 40))
+		h.push(v)
+		ref = append(ref, v)
+	}
+}
+
+// TestMinHeapDrain: filling and fully draining yields sorted order.
+func TestMinHeapDrain(t *testing.T) {
+	var h minHeap
+	r := rng.New(9)
+	vals := make([]float64, 64)
+	for i := range vals {
+		vals[i] = float64(r.Int63n(1000)) // duplicates likely
+		h.push(vals[i])
+	}
+	sort.Float64s(vals)
+	for i, want := range vals {
+		if got := h.popMin(); got != want {
+			t.Fatalf("drain %d: got %v, want %v", i, got, want)
+		}
+	}
+	if h.len() != 0 {
+		t.Errorf("heap not empty after drain: %d", h.len())
+	}
+	h.reset()
+	h.push(1)
+	if h.popMin() != 1 {
+		t.Error("heap unusable after reset")
+	}
+}

@@ -16,16 +16,22 @@ import (
 func (r *Runner) coRunTruth(a, b dacapo.Spec, f units.Freq) *sim.Result {
 	e := r.truthEntryFor(truthKey{bench: "corun/" + a.Name + "+" + b.Name, freq: f})
 	e.once.Do(func() {
-		defer r.gate()()
 		cfg := r.Base
 		cfg.Freq = f
 		a.Configure(&cfg) // tenant 0 uses the machine's default JVM
+		key, ok := r.diskKey("corun-truth", cfg, a, b)
+		if res := r.diskGet(key, ok); res != nil {
+			e.res = res
+			return
+		}
+		defer r.gate()()
 		m := sim.New(cfg)
 		out, err := m.Run(&dacapo.CoRun{Specs: []dacapo.Spec{a, b}})
 		if err != nil {
 			panic(fmt.Sprintf("experiments: co-run %s+%s@%v: %v", a.Name, b.Name, f, err))
 		}
 		e.res = &out
+		r.diskPut(key, ok, &out)
 	})
 	return e.res
 }
@@ -35,11 +41,17 @@ func (r *Runner) coRunTruth(a, b dacapo.Spec, f units.Freq) *sim.Result {
 func (r *Runner) coRunManaged(a, b dacapo.Spec, threshold float64) *sim.Result {
 	e := r.runEntryFor(runKey{kind: runCoRunChip, bench: a.Name + "+" + b.Name, threshold: threshold, holdOff: 1})
 	e.once.Do(func() {
-		defer r.gate()()
 		cfg := r.Base
 		cfg.Freq = FMax
 		a.Configure(&cfg)
-		mg := energy.NewManager(energy.DefaultManagerConfig(threshold))
+		mcfg := energy.DefaultManagerConfig(threshold)
+		key, ok := r.diskKey("corun-chip", cfg, a, b, mcfg)
+		if res := r.diskGet(key, ok); res != nil {
+			e.res = res
+			return
+		}
+		defer r.gate()()
+		mg := energy.NewManager(mcfg)
 		m := sim.New(cfg)
 		m.SetGovernor(mg.Governor())
 		out, err := m.Run(&dacapo.CoRun{Specs: []dacapo.Spec{a, b}})
@@ -47,6 +59,7 @@ func (r *Runner) coRunManaged(a, b dacapo.Spec, threshold float64) *sim.Result {
 			panic(err)
 		}
 		e.res, e.mgr = &out, mg
+		r.diskPut(key, ok, &out)
 	})
 	return e.res
 }

@@ -2,11 +2,15 @@ package experiments
 
 import (
 	"bytes"
+	"os"
+	"path/filepath"
+	"reflect"
 	"strings"
 	"testing"
 
 	"depburst/internal/core"
 	"depburst/internal/dacapo"
+	"depburst/internal/simcache"
 	"depburst/internal/tracefmt"
 )
 
@@ -140,6 +144,131 @@ func TestObservabilityDeterminism(t *testing.T) {
 	} {
 		if !strings.Contains(serial, marker) {
 			t.Errorf("exports missing %s", marker)
+		}
+	}
+}
+
+// cachedRunner returns a runner whose results persist in the given store.
+func cachedRunner(workers int, st *simcache.Store) *Runner {
+	r := NewRunnerWorkers(workers)
+	r.SetDiskCache(st)
+	return r
+}
+
+// damageCache bit-flips the tail byte of every entry in the store's
+// directory, simulating on-disk corruption of the whole cache.
+func damageCache(t *testing.T, st *simcache.Store) {
+	t.Helper()
+	des, err := os.ReadDir(st.Dir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	for _, de := range des {
+		if filepath.Ext(de.Name()) != ".sce" {
+			continue
+		}
+		path := filepath.Join(st.Dir(), de.Name())
+		raw, err := os.ReadFile(path)
+		if err != nil || len(raw) == 0 {
+			t.Fatalf("reading %s: %v", path, err)
+		}
+		raw[len(raw)-1] ^= 0xff
+		if err := os.WriteFile(path, raw, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		n++
+	}
+	if n == 0 {
+		t.Fatal("cache directory held no entries to damage")
+	}
+}
+
+// TestDiskCacheRoundTripAndFallback covers the persistent cache at the
+// runner level: a warm runner serves the truth and governed families from
+// disk with results deep-equal to the live run, and a damaged cache
+// silently degrades to live simulation with identical results.
+func TestDiskCacheRoundTripAndFallback(t *testing.T) {
+	spec, err := dacapo.ByName("pmd.scale")
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := simcache.Open(t.TempDir(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cold := cachedRunner(1, st)
+	truthCold := cold.Truth(spec, 1000)
+	managedCold, mgrCold := cold.ManagedRun(spec, 0.10)
+	if mgrCold == nil {
+		t.Fatal("cold managed run returned no manager")
+	}
+	if st.Stats().Puts == 0 {
+		t.Fatal("cold runs wrote nothing to the store")
+	}
+
+	warm := cachedRunner(1, st)
+	preHits := st.Stats().Hits
+	truthWarm := warm.Truth(spec, 1000)
+	managedWarm, mgrWarm := warm.ManagedRun(spec, 0.10)
+	if st.Stats().Hits != preHits+2 {
+		t.Fatalf("warm runs hit %d times, want 2", st.Stats().Hits-preHits)
+	}
+	if !reflect.DeepEqual(truthCold, truthWarm) {
+		t.Error("warm truth result differs from cold")
+	}
+	if !reflect.DeepEqual(managedCold, managedWarm) {
+		t.Error("warm managed result differs from cold")
+	}
+	if mgrWarm != nil {
+		t.Error("cache-served managed run fabricated a manager")
+	}
+
+	damageCache(t, st)
+	fallback := cachedRunner(1, st)
+	truthLive := fallback.Truth(spec, 1000)
+	if !reflect.DeepEqual(truthCold, truthLive) {
+		t.Error("live fallback after corruption differs from original run")
+	}
+	// The damaged entry was purged and the fallback re-populated it.
+	again := cachedRunner(1, st)
+	if !reflect.DeepEqual(truthCold, again.Truth(spec, 1000)) {
+		t.Error("re-populated cache serves a different result")
+	}
+}
+
+// TestWarmCacheDeterminism is the headline guarantee of the persistent
+// cache: rendering the experiment set against a warm cache — at any worker
+// count — must be byte-identical to the cold run that populated it, because
+// entries round-trip sim.Result exactly and row assembly never observes
+// where a result came from.
+func TestWarmCacheDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long integration experiment")
+	}
+	st, err := simcache.Open(t.TempDir(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold := renderSet(cachedRunner(1, st))
+	if st.Stats().Puts == 0 {
+		t.Fatal("cold render wrote no cache entries")
+	}
+	for _, workers := range []int{1, 8} {
+		pre := st.Stats()
+		warm := renderSet(cachedRunner(workers, st))
+		if warm != cold {
+			d := firstDiff(cold, warm)
+			t.Fatalf("warm -j %d render diverges from cold at byte %d:\ncold: %q\nwarm: %q",
+				workers, d, window(cold, d), window(warm, d))
+		}
+		post := st.Stats()
+		if post.Hits == pre.Hits {
+			t.Fatalf("warm -j %d render never hit the cache", workers)
+		}
+		if post.Puts != pre.Puts {
+			t.Fatalf("warm -j %d render re-simulated %d runs", workers, post.Puts-pre.Puts)
 		}
 	}
 }

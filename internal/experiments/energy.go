@@ -11,6 +11,10 @@ import (
 // ManagedRun executes spec under the energy manager with the given
 // slowdown threshold, starting (per the paper) at the maximum frequency.
 // Like Truth, managed runs are memoised and singleflight-deduplicated.
+//
+// The returned Manager carries the governor's internal decision state; it
+// is nil when the result was served from the persistent disk cache (only
+// results persist, and no current experiment consumes the manager).
 func (r *Runner) ManagedRun(spec dacapo.Spec, threshold float64) (*sim.Result, *energy.Manager) {
 	return r.managedRunHold(spec, threshold, 1)
 }
@@ -18,12 +22,17 @@ func (r *Runner) ManagedRun(spec dacapo.Spec, threshold float64) (*sim.Result, *
 func (r *Runner) managedRunHold(spec dacapo.Spec, threshold float64, holdOff int) (*sim.Result, *energy.Manager) {
 	e := r.runEntryFor(runKey{kind: runChip, bench: spec.Name, threshold: threshold, holdOff: holdOff})
 	e.once.Do(func() {
-		defer r.gate()()
 		cfg := r.Base
 		cfg.Freq = FMax
 		spec.Configure(&cfg)
 		mcfg := energy.DefaultManagerConfig(threshold)
 		mcfg.HoldOff = holdOff
+		key, ok := r.diskKey("chip", cfg, spec, mcfg)
+		if res := r.diskGet(key, ok); res != nil {
+			e.res = res
+			return
+		}
+		defer r.gate()()
 		mg := energy.NewManager(mcfg)
 		m := sim.New(cfg)
 		m.SetGovernor(mg.Governor())
@@ -32,19 +41,27 @@ func (r *Runner) managedRunHold(spec dacapo.Spec, threshold float64, holdOff int
 			panic(err)
 		}
 		e.res, e.mgr = &res, mg
+		r.diskPut(key, ok, &res)
 	})
-	return e.res, e.mgr.(*energy.Manager)
+	mg, _ := e.mgr.(*energy.Manager)
+	return e.res, mg
 }
 
 func (r *Runner) managedRunQuantum(spec dacapo.Spec, threshold float64, quantum units.Time) (*sim.Result, *energy.Manager) {
 	e := r.runEntryFor(runKey{kind: runChip, bench: spec.Name, threshold: threshold, holdOff: 1, quantum: quantum})
 	e.once.Do(func() {
-		defer r.gate()()
 		cfg := r.Base
 		cfg.Freq = FMax
 		cfg.Quantum = quantum
 		spec.Configure(&cfg)
-		mg := energy.NewManager(energy.DefaultManagerConfig(threshold))
+		mcfg := energy.DefaultManagerConfig(threshold)
+		key, ok := r.diskKey("chip", cfg, spec, mcfg)
+		if res := r.diskGet(key, ok); res != nil {
+			e.res = res
+			return
+		}
+		defer r.gate()()
+		mg := energy.NewManager(mcfg)
 		m := sim.New(cfg)
 		m.SetGovernor(mg.Governor())
 		res, err := m.Run(dacapo.New(spec))
@@ -52,8 +69,10 @@ func (r *Runner) managedRunQuantum(spec dacapo.Spec, threshold float64, quantum 
 			panic(err)
 		}
 		e.res, e.mgr = &res, mg
+		r.diskPut(key, ok, &res)
 	})
-	return e.res, e.mgr.(*energy.Manager)
+	mg, _ := e.mgr.(*energy.Manager)
+	return e.res, mg
 }
 
 // Fig6 reproduces Figure 6: per-benchmark slowdown and energy savings under
@@ -104,14 +123,21 @@ func (r *Runner) Fig6() *report.Table {
 }
 
 // PerCoreRun executes spec under the per-core DVFS manager (memoised).
+// The manager is nil when the result came from the persistent disk cache.
 func (r *Runner) PerCoreRun(spec dacapo.Spec, threshold float64) (*sim.Result, *energy.PerCoreManager) {
 	e := r.runEntryFor(runKey{kind: runPerCore, bench: spec.Name, threshold: threshold})
 	e.once.Do(func() {
-		defer r.gate()()
 		cfg := r.Base
 		cfg.Freq = FMax
 		spec.Configure(&cfg)
-		mg := energy.NewPerCoreManager(energy.DefaultManagerConfig(threshold))
+		mcfg := energy.DefaultManagerConfig(threshold)
+		key, ok := r.diskKey("percore", cfg, spec, mcfg)
+		if res := r.diskGet(key, ok); res != nil {
+			e.res = res
+			return
+		}
+		defer r.gate()()
+		mg := energy.NewPerCoreManager(mcfg)
 		m := sim.New(cfg)
 		m.SetCoreGovernor(mg.Governor())
 		res, err := m.Run(dacapo.New(spec))
@@ -119,8 +145,10 @@ func (r *Runner) PerCoreRun(spec dacapo.Spec, threshold float64) (*sim.Result, *
 			panic(err)
 		}
 		e.res, e.mgr = &res, mg
+		r.diskPut(key, ok, &res)
 	})
-	return e.res, e.mgr.(*energy.PerCoreManager)
+	mg, _ := e.mgr.(*energy.PerCoreManager)
+	return e.res, mg
 }
 
 // PerCoreDVFS is the future-work extension experiment (§VII): chip-wide

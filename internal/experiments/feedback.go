@@ -8,15 +8,22 @@ import (
 )
 
 // FeedbackRun executes spec under the closed-loop feedback manager
-// (memoised).
+// (memoised). The manager is nil when the result came from the persistent
+// disk cache.
 func (r *Runner) FeedbackRun(spec dacapo.Spec, threshold float64) (*sim.Result, *energy.FeedbackManager) {
 	e := r.runEntryFor(runKey{kind: runFeedback, bench: spec.Name, threshold: threshold})
 	e.once.Do(func() {
-		defer r.gate()()
 		cfg := r.Base
 		cfg.Freq = FMax
 		spec.Configure(&cfg)
-		mg := energy.NewFeedbackManager(energy.DefaultManagerConfig(threshold))
+		mcfg := energy.DefaultManagerConfig(threshold)
+		key, ok := r.diskKey("feedback", cfg, spec, mcfg)
+		if res := r.diskGet(key, ok); res != nil {
+			e.res = res
+			return
+		}
+		defer r.gate()()
+		mg := energy.NewFeedbackManager(mcfg)
 		m := sim.New(cfg)
 		m.SetGovernor(mg.Governor())
 		res, err := m.Run(dacapo.New(spec))
@@ -24,8 +31,10 @@ func (r *Runner) FeedbackRun(spec dacapo.Spec, threshold float64) (*sim.Result, 
 			panic(err)
 		}
 		e.res, e.mgr = &res, mg
+		r.diskPut(key, ok, &res)
 	})
-	return e.res, e.mgr.(*energy.FeedbackManager)
+	mg, _ := e.mgr.(*energy.FeedbackManager)
+	return e.res, mg
 }
 
 // FeedbackAblation compares the paper's open-loop manager with the

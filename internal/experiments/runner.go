@@ -20,6 +20,7 @@ import (
 	"depburst/internal/core"
 	"depburst/internal/dacapo"
 	"depburst/internal/sim"
+	"depburst/internal/simcache"
 	"depburst/internal/units"
 )
 
@@ -49,9 +50,64 @@ type Runner struct {
 	workers int
 	sem     chan struct{}
 
+	// disk, when non-nil, is the persistent content-addressed result
+	// store consulted under the singleflight layer: a key hit replaces
+	// the whole simulation with deserialization, and every live run is
+	// written back. nil (the default) keeps the Runner purely in-memory.
+	disk *simcache.Store
+
 	mu    sync.Mutex
 	cache map[truthKey]*truthEntry
 	runs  map[runKey]*runEntry
+}
+
+// resultFingerprint pins the structure of sim.Result into every disk-cache
+// key, so a binary whose result schema differs always misses.
+var resultFingerprint = simcache.Fingerprint(sim.Result{})
+
+// SetDiskCache attaches a persistent result store (nil detaches). Attach it
+// before launching work; runs already in flight are unaffected.
+func (r *Runner) SetDiskCache(s *simcache.Store) { r.disk = s }
+
+// DiskCache returns the attached persistent store (nil when disabled).
+func (r *Runner) DiskCache() *simcache.Store { return r.disk }
+
+// diskKey computes the content address for one run family: the result
+// schema fingerprint, the run kind, the complete machine configuration
+// (which carries frequency, quantum, seed and the benchmark's JVM sizing)
+// and any extra inputs — benchmark specs, governor parameters. ok is false
+// when no store is attached or the inputs fail to encode.
+func (r *Runner) diskKey(kind string, cfg sim.Config, extra ...any) (string, bool) {
+	if r.disk == nil {
+		return "", false
+	}
+	cfg.Metrics = nil // observability never changes results
+	parts := append([]any{resultFingerprint, kind, cfg}, extra...)
+	key, err := simcache.Key(parts...)
+	if err != nil {
+		return "", false
+	}
+	return key, true
+}
+
+// diskGet serves a memoised run family slot from the persistent store.
+func (r *Runner) diskGet(key string, ok bool) *sim.Result {
+	if !ok {
+		return nil
+	}
+	var res sim.Result
+	if !r.disk.Get(key, &res) {
+		return nil
+	}
+	return &res
+}
+
+// diskPut writes a freshly simulated result back, best effort: a full or
+// read-only cache must never fail the experiment that produced the result.
+func (r *Runner) diskPut(key string, ok bool, res *sim.Result) {
+	if ok {
+		_ = r.disk.Put(key, res)
+	}
 }
 
 type truthKey struct {
@@ -131,6 +187,7 @@ func (r *Runner) fork() *Runner {
 		Base:    r.Base,
 		workers: r.workers,
 		sem:     r.sem,
+		disk:    r.disk, // keys carry the full config, so sharing is safe
 		cache:   make(map[truthKey]*truthEntry),
 		runs:    make(map[runKey]*runEntry),
 	}
@@ -186,16 +243,22 @@ func (r *Runner) runEntryFor(key runKey) *runEntry {
 func (r *Runner) Truth(spec dacapo.Spec, f units.Freq) *sim.Result {
 	e := r.truthEntryFor(truthKey{bench: spec.Name, freq: f})
 	e.once.Do(func() {
-		defer r.gate()()
 		cfg := r.Base
 		cfg.Freq = f
 		spec.Configure(&cfg)
+		key, ok := r.diskKey("truth", cfg, spec)
+		if res := r.diskGet(key, ok); res != nil {
+			e.res = res
+			return
+		}
+		defer r.gate()()
 		m := sim.New(cfg)
 		out, err := m.Run(dacapo.New(spec))
 		if err != nil {
 			panic(fmt.Sprintf("experiments: truth run %s@%v: %v", spec.Name, f, err))
 		}
 		e.res = &out
+		r.diskPut(key, ok, &out)
 	})
 	return e.res
 }

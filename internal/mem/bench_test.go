@@ -46,6 +46,56 @@ func BenchmarkDRAMReset(b *testing.B) {
 	}
 }
 
+// BenchmarkCacheAccessHit measures the flattened lookup path on a
+// cache-resident working set (the L2 steady state: mostly hits).
+func BenchmarkCacheAccessHit(b *testing.B) {
+	c := NewCache(CacheConfig{SizeBytes: 256 << 10, Ways: 8})
+	const lines = 1024 // 64 KiB working set, fits easily
+	for i := 0; i < lines; i++ {
+		c.Access(Addr(i*LineSize), false)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Access(Addr((i%lines)*LineSize), i&7 == 0)
+	}
+}
+
+// BenchmarkCacheAccessMiss streams far beyond the capacity, exercising the
+// victim scan, eviction and dirty-writeback reconstruction every access.
+func BenchmarkCacheAccessMiss(b *testing.B) {
+	c := NewCache(CacheConfig{SizeBytes: 256 << 10, Ways: 8})
+	r := rng.New(5)
+	addrs := make([]Addr, 8192)
+	for i := range addrs {
+		addrs[i] = Addr(r.Int63n(1 << 34)).Line()
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Access(addrs[i&8191], i&3 == 0)
+	}
+}
+
+// TestCacheAccessZeroAllocs locks the flattened Access path — lookup,
+// victim choice, writeback reconstruction — at zero heap allocations.
+func TestCacheAccessZeroAllocs(t *testing.T) {
+	c := NewCache(CacheConfig{SizeBytes: 8 << 10, Ways: 4})
+	r := rng.New(7)
+	addrs := make([]Addr, 1024)
+	for i := range addrs {
+		addrs[i] = Addr(r.Int63n(1 << 30)).Line()
+	}
+	i := 0
+	avg := testing.AllocsPerRun(1000, func() {
+		c.Access(addrs[i&1023], i&3 == 0)
+		i++
+	})
+	if avg != 0 {
+		t.Errorf("Cache.Access allocates %.2f objects/op, want 0", avg)
+	}
+}
+
 // TestCalendarReserveZeroAllocs locks the reservation path at zero heap
 // allocations per booking.
 func TestCalendarReserveZeroAllocs(t *testing.T) {

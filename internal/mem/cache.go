@@ -10,6 +10,9 @@ package mem
 // LineSize is the cache line size in bytes, shared by every level.
 const LineSize = 64
 
+// lineShift is log2(LineSize), so addr>>lineShift is the line number.
+const lineShift = 6
+
 // Addr is a physical byte address.
 type Addr uint64
 
@@ -38,10 +41,17 @@ type cacheLine struct {
 
 // Cache is a set-associative write-back, write-allocate cache with true LRU
 // replacement. It models tags only (no data), which is all timing needs.
+//
+// Lines are stored as one contiguous slice — set s occupies
+// lines[s*ways : (s+1)*ways] — and address hashing is pure shift/mask, so
+// Access touches a single cache-resident run of memory with no per-set
+// slice header indirection and no integer division.
 type Cache struct {
 	cfg      CacheConfig
-	sets     [][]cacheLine
+	lines    []cacheLine
+	ways     int
 	setMask  uint64
+	setShift uint // log2(number of sets); tag = lineNumber >> setShift
 	lruClock uint64
 
 	// Stats
@@ -59,24 +69,34 @@ func NewCache(cfg CacheConfig) *Cache {
 	if cfg.Ways <= 0 || sets <= 0 || sets&(sets-1) != 0 {
 		panic("mem: invalid cache geometry")
 	}
-	c := &Cache{cfg: cfg, setMask: uint64(sets - 1)}
-	c.sets = make([][]cacheLine, sets)
-	backing := make([]cacheLine, sets*cfg.Ways)
-	for i := range c.sets {
-		c.sets[i], backing = backing[:cfg.Ways], backing[cfg.Ways:]
+	shift := uint(0)
+	for 1<<shift != sets {
+		shift++
 	}
-	return c
+	return &Cache{
+		cfg:      cfg,
+		lines:    make([]cacheLine, sets*cfg.Ways),
+		ways:     cfg.Ways,
+		setMask:  uint64(sets - 1),
+		setShift: shift,
+	}
 }
 
 // Config returns the cache geometry.
 func (c *Cache) Config() CacheConfig { return c.cfg }
 
 func (c *Cache) setIndex(a Addr) uint64 {
-	return (uint64(a) / LineSize) & c.setMask
+	return (uint64(a) >> lineShift) & c.setMask
 }
 
 func (c *Cache) tag(a Addr) uint64 {
-	return uint64(a) / LineSize / uint64(len(c.sets))
+	return (uint64(a) >> lineShift) >> c.setShift
+}
+
+// set returns the ways of set si as a full-capacity sub-slice.
+func (c *Cache) set(si uint64) []cacheLine {
+	base := int(si) * c.ways
+	return c.lines[base : base+c.ways : base+c.ways]
 }
 
 // AccessResult reports the outcome of a cache access.
@@ -92,7 +112,8 @@ type AccessResult struct {
 // write marks the line dirty. The returned result says whether it hit and
 // whether a dirty victim must be written back to the next level.
 func (c *Cache) Access(addr Addr, write bool) AccessResult {
-	set := c.sets[c.setIndex(addr)]
+	si := c.setIndex(addr)
+	set := c.set(si)
 	tag := c.tag(addr)
 	c.lruClock++
 
@@ -108,25 +129,26 @@ func (c *Cache) Access(addr Addr, write bool) AccessResult {
 	}
 	c.Misses++
 
-	// Choose victim: an invalid way if any, else the least recently used.
+	// Choose victim in one pass: the first invalid way if any, else the
+	// least recently used (lowest-index on ties, matching true LRU with
+	// the strictly-increasing lru clock).
 	victim := 0
 	for i := range set {
 		if !set[i].valid {
 			victim = i
-			goto fill
+			break
 		}
 		if set[i].lru < set[victim].lru {
 			victim = i
 		}
 	}
-fill:
 	var res AccessResult
 	if set[victim].valid {
 		c.Evictions++
 		if set[victim].dirty {
 			c.Writebacks++
 			res.WritebackValid = true
-			res.WritebackAddr = c.reconstruct(set[victim].tag, c.setIndex(addr))
+			res.WritebackAddr = c.reconstruct(set[victim].tag, si)
 		}
 	}
 	set[victim] = cacheLine{tag: tag, valid: true, dirty: write, lru: c.lruClock}
@@ -136,7 +158,7 @@ fill:
 // Probe reports whether addr is present without touching LRU state or
 // statistics.
 func (c *Cache) Probe(addr Addr) bool {
-	set := c.sets[c.setIndex(addr)]
+	set := c.set(c.setIndex(addr))
 	tag := c.tag(addr)
 	for i := range set {
 		if set[i].valid && set[i].tag == tag {
@@ -149,7 +171,7 @@ func (c *Cache) Probe(addr Addr) bool {
 // Invalidate drops addr from the cache if present, returning whether the
 // dropped line was dirty.
 func (c *Cache) Invalidate(addr Addr) (present, dirty bool) {
-	set := c.sets[c.setIndex(addr)]
+	set := c.set(c.setIndex(addr))
 	tag := c.tag(addr)
 	for i := range set {
 		if set[i].valid && set[i].tag == tag {
@@ -164,29 +186,25 @@ func (c *Cache) Invalidate(addr Addr) (present, dirty bool) {
 // Flush invalidates the entire cache, returning the number of dirty lines
 // discarded.
 func (c *Cache) Flush() (dirty int) {
-	for _, set := range c.sets {
-		for i := range set {
-			if set[i].valid && set[i].dirty {
-				dirty++
-			}
-			set[i] = cacheLine{}
+	for i := range c.lines {
+		if c.lines[i].valid && c.lines[i].dirty {
+			dirty++
 		}
+		c.lines[i] = cacheLine{}
 	}
 	return dirty
 }
 
 func (c *Cache) reconstruct(tag, setIdx uint64) Addr {
-	return Addr((tag*uint64(len(c.sets)) + setIdx) * LineSize)
+	return Addr((tag<<c.setShift | setIdx) << lineShift)
 }
 
 // Occupancy returns the number of valid lines, mostly for tests.
 func (c *Cache) Occupancy() int {
 	n := 0
-	for _, set := range c.sets {
-		for i := range set {
-			if set[i].valid {
-				n++
-			}
+	for i := range c.lines {
+		if c.lines[i].valid {
+			n++
 		}
 	}
 	return n

@@ -1,0 +1,321 @@
+// Package simcache is a persistent, disk-backed, content-addressed store
+// for simulation results. Ground-truth and governed runs are pure functions
+// of (machine configuration, benchmark spec, seed, governor parameters), so
+// their results can be cached across processes: a warm rerun of the full
+// experiment suite is pure deserialization and byte-identical to a cold run.
+//
+// Keys are SHA-256 digests over a canonical encoding of the inputs plus a
+// schema-version string and a structural fingerprint of the result type, so
+// any change to the simulator's observable output families invalidates the
+// cache implicitly. Entries are self-checking (magic, version, payload
+// checksum) and written atomically (temp file + rename); corruption,
+// truncation or version skew degrades to a cache miss, never to a wrong
+// result. Total size is bounded by an LRU cap: reads refresh an entry's
+// mtime, and writes evict least-recently-used entries beyond the cap.
+package simcache
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/gob"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"reflect"
+	"sort"
+	"sync"
+	"time"
+)
+
+// SchemaVersion names the on-disk entry layout and the keying scheme. Bump
+// it whenever either changes incompatibly; old entries then miss and are
+// eventually evicted.
+const SchemaVersion = "depburst-simcache/1"
+
+// DefaultMaxBytes is the default LRU size cap (4 GiB).
+const DefaultMaxBytes = 4 << 30
+
+// entryExt is the filename extension of cache entries; everything else in
+// the directory (temp files, stray content) is ignored by Get and eviction.
+const entryExt = ".sce"
+
+// Entry header: magic, format version, payload length, payload CRC.
+var entryMagic = [4]byte{'D', 'B', 'S', 'C'}
+
+const entryVersion uint32 = 1
+
+const headerSize = 4 + 4 + 8 + 4 // magic + version + length + crc32
+
+// Stats counts store traffic since Open.
+type Stats struct {
+	Hits, Misses, Puts, Evictions uint64
+}
+
+// Store is one cache directory. It is safe for concurrent use by multiple
+// goroutines; concurrent processes sharing a directory are safe too, since
+// entries are immutable once renamed into place.
+type Store struct {
+	dir      string
+	maxBytes int64
+
+	mu    sync.Mutex
+	stats Stats
+}
+
+// Open creates (if needed) and returns the store rooted at dir. maxBytes
+// bounds the total size of entries; <= 0 selects DefaultMaxBytes.
+func Open(dir string, maxBytes int64) (*Store, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("simcache: empty cache directory")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("simcache: %w", err)
+	}
+	if maxBytes <= 0 {
+		maxBytes = DefaultMaxBytes
+	}
+	return &Store{dir: dir, maxBytes: maxBytes}, nil
+}
+
+// Dir returns the store's root directory.
+func (s *Store) Dir() string { return s.dir }
+
+// Stats returns a snapshot of the store's traffic counters.
+func (s *Store) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats
+}
+
+// Key derives the content address for a cached result from its inputs.
+// Each part is canonically JSON-encoded (struct fields in declaration
+// order, no maps should be passed) and hashed together with SchemaVersion.
+// Callers include every input the simulation depends on — the full machine
+// config, the benchmark spec(s) carrying the seed, and any governor
+// parameters — plus Fingerprint of the result type.
+func Key(parts ...any) (string, error) {
+	h := sha256.New()
+	h.Write([]byte(SchemaVersion))
+	enc := json.NewEncoder(h)
+	for _, p := range parts {
+		if err := enc.Encode(p); err != nil {
+			return "", fmt.Errorf("simcache: keying: %w", err)
+		}
+	}
+	return hex.EncodeToString(h.Sum(nil)), nil
+}
+
+// Fingerprint returns a structural digest of v's type: type kinds, field
+// names and declared order, recursively. Include it in Key so that adding,
+// removing or retyping a field of the cached result changes every key —
+// version skew between binaries then reads as a miss instead of a
+// silently-partial gob decode.
+func Fingerprint(v any) string {
+	var b bytes.Buffer
+	seen := map[reflect.Type]bool{}
+	walkType(&b, reflect.TypeOf(v), seen)
+	sum := sha256.Sum256(b.Bytes())
+	return hex.EncodeToString(sum[:8])
+}
+
+func walkType(b *bytes.Buffer, t reflect.Type, seen map[reflect.Type]bool) {
+	if t == nil {
+		b.WriteString("nil")
+		return
+	}
+	if seen[t] {
+		fmt.Fprintf(b, "cycle(%s)", t.Name())
+		return
+	}
+	switch t.Kind() {
+	case reflect.Pointer, reflect.Slice, reflect.Array:
+		fmt.Fprintf(b, "%s{", t.Kind())
+		walkType(b, t.Elem(), seen)
+		b.WriteByte('}')
+	case reflect.Struct:
+		seen[t] = true
+		fmt.Fprintf(b, "struct %s{", t.Name())
+		for i := 0; i < t.NumField(); i++ {
+			f := t.Field(i)
+			b.WriteString(f.Name)
+			b.WriteByte(':')
+			walkType(b, f.Type, seen)
+			b.WriteByte(';')
+		}
+		b.WriteByte('}')
+		delete(seen, t)
+	case reflect.Map:
+		b.WriteString("map[")
+		walkType(b, t.Key(), seen)
+		b.WriteByte(']')
+		walkType(b, t.Elem(), seen)
+	default:
+		// Scalar: name + kind pins both the named type and its width.
+		fmt.Fprintf(b, "%s/%s", t.Name(), t.Kind())
+	}
+}
+
+func (s *Store) path(key string) string {
+	return filepath.Join(s.dir, key+entryExt)
+}
+
+// Get decodes the entry for key into out (a pointer to a fresh value) and
+// reports whether it was served. Every failure mode — absent, truncated,
+// corrupted, or written by an incompatible format version — returns false;
+// damaged entries are deleted so they stop occupying the budget.
+func (s *Store) Get(key string, out any) bool {
+	path := s.path(key)
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		s.count(func(st *Stats) { st.Misses++ })
+		return false
+	}
+	payload, ok := checkEntry(raw)
+	if !ok {
+		os.Remove(path) // damaged or foreign: purge, best effort
+		s.count(func(st *Stats) { st.Misses++ })
+		return false
+	}
+	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(out); err != nil {
+		os.Remove(path)
+		s.count(func(st *Stats) { st.Misses++ })
+		return false
+	}
+	// Refresh recency for the LRU cap, best effort.
+	now := time.Now()
+	os.Chtimes(path, now, now)
+	s.count(func(st *Stats) { st.Hits++ })
+	return true
+}
+
+// checkEntry validates the framing and checksum of a raw entry and returns
+// its payload.
+func checkEntry(raw []byte) ([]byte, bool) {
+	if len(raw) < headerSize {
+		return nil, false
+	}
+	if [4]byte(raw[:4]) != entryMagic {
+		return nil, false
+	}
+	if binary.LittleEndian.Uint32(raw[4:8]) != entryVersion {
+		return nil, false
+	}
+	n := binary.LittleEndian.Uint64(raw[8:16])
+	payload := raw[headerSize:]
+	if uint64(len(payload)) != n {
+		return nil, false
+	}
+	if binary.LittleEndian.Uint32(raw[16:20]) != crc32.ChecksumIEEE(payload) {
+		return nil, false
+	}
+	return payload, true
+}
+
+// Put encodes val and installs it under key atomically: the entry is
+// staged in a temp file in the same directory and renamed into place, so
+// readers (including other processes) only ever see complete entries.
+func (s *Store) Put(key string, val any) error {
+	var payload bytes.Buffer
+	if err := gob.NewEncoder(&payload).Encode(val); err != nil {
+		return fmt.Errorf("simcache: encode: %w", err)
+	}
+	var hdr [headerSize]byte
+	copy(hdr[:4], entryMagic[:])
+	binary.LittleEndian.PutUint32(hdr[4:8], entryVersion)
+	binary.LittleEndian.PutUint64(hdr[8:16], uint64(payload.Len()))
+	binary.LittleEndian.PutUint32(hdr[16:20], crc32.ChecksumIEEE(payload.Bytes()))
+
+	tmp, err := os.CreateTemp(s.dir, ".tmp-*")
+	if err != nil {
+		return fmt.Errorf("simcache: %w", err)
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	if _, err := tmp.Write(hdr[:]); err == nil {
+		_, err = tmp.Write(payload.Bytes())
+	}
+	if err != nil {
+		tmp.Close()
+		return fmt.Errorf("simcache: write: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("simcache: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), s.path(key)); err != nil {
+		return fmt.Errorf("simcache: install: %w", err)
+	}
+	s.count(func(st *Stats) { st.Puts++ })
+	return s.evictOver()
+}
+
+// Size scans the directory and returns the live entry count and byte total.
+func (s *Store) Size() (entries int, bytes int64, err error) {
+	des, err := os.ReadDir(s.dir)
+	if err != nil {
+		return 0, 0, err
+	}
+	for _, de := range des {
+		if filepath.Ext(de.Name()) != entryExt {
+			continue
+		}
+		info, err := de.Info()
+		if err != nil {
+			continue
+		}
+		entries++
+		bytes += info.Size()
+	}
+	return entries, bytes, nil
+}
+
+// evictOver enforces the LRU cap: while the directory exceeds maxBytes,
+// remove the least recently used entries (oldest mtime; Get refreshes it).
+func (s *Store) evictOver() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	des, err := os.ReadDir(s.dir)
+	if err != nil {
+		return err
+	}
+	type ent struct {
+		path  string
+		size  int64
+		mtime time.Time
+	}
+	var ents []ent
+	var total int64
+	for _, de := range des {
+		if filepath.Ext(de.Name()) != entryExt {
+			continue
+		}
+		info, err := de.Info()
+		if err != nil {
+			continue
+		}
+		ents = append(ents, ent{filepath.Join(s.dir, de.Name()), info.Size(), info.ModTime()})
+		total += info.Size()
+	}
+	if total <= s.maxBytes {
+		return nil
+	}
+	sort.Slice(ents, func(i, j int) bool { return ents[i].mtime.Before(ents[j].mtime) })
+	for _, e := range ents {
+		if total <= s.maxBytes {
+			break
+		}
+		if os.Remove(e.path) == nil {
+			total -= e.size
+			s.stats.Evictions++
+		}
+	}
+	return nil
+}
+
+func (s *Store) count(f func(*Stats)) {
+	s.mu.Lock()
+	f(&s.stats)
+	s.mu.Unlock()
+}

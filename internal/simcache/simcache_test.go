@@ -1,0 +1,354 @@
+package simcache
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+)
+
+// payload is a stand-in for sim.Result: nested structs, slices, exact
+// floats, and signed/unsigned scalars.
+type payload struct {
+	Name    string
+	Time    int64
+	Energy  float64
+	Series  []point
+	Threads []string
+}
+
+type point struct {
+	At    int64
+	Value float64
+}
+
+func testPayload() payload {
+	return payload{
+		Name:   "xalan",
+		Time:   123_456_789_012,
+		Energy: 0.1 + 0.2, // a value that JSON would not round-trip textually
+		Series: []point{{1, 1.5}, {2, 2.25e-17}, {3, -0}},
+		Threads: []string{
+			"main", "worker-0", "worker-1",
+		},
+	}
+}
+
+func open(t *testing.T, maxBytes int64) *Store {
+	t.Helper()
+	s, err := Open(t.TempDir(), maxBytes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestRoundTrip(t *testing.T) {
+	s := open(t, 0)
+	key, err := Key("truth", testPayload())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := testPayload()
+	if err := s.Put(key, &want); err != nil {
+		t.Fatal(err)
+	}
+	var got payload
+	if !s.Get(key, &got) {
+		t.Fatal("fresh entry missed")
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("round trip changed the value:\ngot  %+v\nwant %+v", got, want)
+	}
+	st := s.Stats()
+	if st.Hits != 1 || st.Puts != 1 {
+		t.Errorf("stats = %+v, want 1 hit / 1 put", st)
+	}
+}
+
+func TestAbsentKeyMisses(t *testing.T) {
+	s := open(t, 0)
+	var got payload
+	if s.Get("0000000000000000000000000000000000000000000000000000000000000000", &got) {
+		t.Fatal("absent key hit")
+	}
+	if st := s.Stats(); st.Misses != 1 {
+		t.Errorf("misses = %d, want 1", st.Misses)
+	}
+}
+
+func TestKeyDiscriminates(t *testing.T) {
+	a, _ := Key("truth", testPayload())
+	b, _ := Key("truth", testPayload())
+	if a != b {
+		t.Error("identical inputs produced different keys")
+	}
+	mutated := testPayload()
+	mutated.Time++
+	c, _ := Key("truth", mutated)
+	if a == c {
+		t.Error("different inputs produced the same key")
+	}
+	d, _ := Key("chip", testPayload())
+	if a == d {
+		t.Error("different run kinds produced the same key")
+	}
+}
+
+func TestFingerprintTracksSchema(t *testing.T) {
+	type v1 struct{ A int64 }
+	type v2 struct{ A, B int64 }
+	type v1renamed struct{ B int64 }
+	fp1, fp2, fp3 := Fingerprint(v1{}), Fingerprint(v2{}), Fingerprint(v1renamed{})
+	if fp1 == fp2 {
+		t.Error("added field did not change the fingerprint")
+	}
+	if fp1 == fp3 {
+		t.Error("renamed field did not change the fingerprint")
+	}
+	if Fingerprint(v1{}) != fp1 {
+		t.Error("fingerprint not deterministic")
+	}
+	// Recursive types must terminate.
+	type node struct {
+		Next *node
+		V    int
+	}
+	if Fingerprint(node{}) == "" {
+		t.Error("recursive type produced empty fingerprint")
+	}
+}
+
+// corrupt flips one byte at off (negative: from the end) in the sole cache
+// entry under dir.
+func corruptEntry(t *testing.T, dir string, off int64, mutate func([]byte)) string {
+	t.Helper()
+	des, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var path string
+	for _, de := range des {
+		if filepath.Ext(de.Name()) == entryExt {
+			path = filepath.Join(dir, de.Name())
+		}
+	}
+	if path == "" {
+		t.Fatal("no cache entry found")
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if off < 0 {
+		off += int64(len(raw))
+	}
+	if mutate != nil {
+		mutate(raw)
+	} else {
+		raw[off] ^= 0xff
+	}
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestCorruptionDegradesToMiss(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(t *testing.T, dir string)
+	}{
+		{"payload-bitflip", func(t *testing.T, dir string) {
+			corruptEntry(t, dir, -1, nil)
+		}},
+		{"header-magic", func(t *testing.T, dir string) {
+			corruptEntry(t, dir, 0, nil)
+		}},
+		{"version-skew", func(t *testing.T, dir string) {
+			corruptEntry(t, dir, 0, func(raw []byte) { raw[4]++ })
+		}},
+		{"truncated-payload", func(t *testing.T, dir string) {
+			path := corruptEntry(t, dir, 0, func([]byte) {})
+			raw, _ := os.ReadFile(path)
+			os.WriteFile(path, raw[:len(raw)/2], 0o644)
+		}},
+		{"truncated-header", func(t *testing.T, dir string) {
+			path := corruptEntry(t, dir, 0, func([]byte) {})
+			os.WriteFile(path, []byte{'D'}, 0o644)
+		}},
+		{"empty-file", func(t *testing.T, dir string) {
+			path := corruptEntry(t, dir, 0, func([]byte) {})
+			os.WriteFile(path, nil, 0o644)
+		}},
+		{"garbage-gob", func(t *testing.T, dir string) {
+			// Valid framing around a payload gob cannot decode: rewrite
+			// the entry from whole cloth with a checksummed junk payload.
+			path := corruptEntry(t, dir, 0, func([]byte) {})
+			s, _ := Open(dir, 0)
+			if err := s.Put(filepath.Base(path[:len(path)-len(entryExt)]), "not a payload struct"); err != nil {
+				t.Fatal(err)
+			}
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			s := open(t, 0)
+			key, _ := Key("truth", tc.name)
+			if err := s.Put(key, testPayload()); err != nil {
+				t.Fatal(err)
+			}
+			tc.mutate(t, s.Dir())
+			var got payload
+			if s.Get(key, &got) {
+				t.Fatal("damaged entry served as a hit")
+			}
+			// The damaged entry is purged, and a re-Put re-serves.
+			if err := s.Put(key, testPayload()); err != nil {
+				t.Fatal(err)
+			}
+			if !s.Get(key, &got) || !reflect.DeepEqual(got, testPayload()) {
+				t.Fatal("store did not recover after re-Put")
+			}
+		})
+	}
+}
+
+func TestDamagedEntryPurged(t *testing.T) {
+	s := open(t, 0)
+	key, _ := Key("x")
+	if err := s.Put(key, testPayload()); err != nil {
+		t.Fatal(err)
+	}
+	corruptEntry(t, s.Dir(), -1, nil)
+	var got payload
+	s.Get(key, &got)
+	if entries, _, _ := s.Size(); entries != 0 {
+		t.Errorf("damaged entry still on disk (%d entries)", entries)
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	// Entries are ~a few hundred bytes; cap the store so only a couple
+	// fit, then verify oldest-mtime entries go first and recently-read
+	// entries survive.
+	s := open(t, 0)
+	var keys []string
+	for i := 0; i < 4; i++ {
+		k, _ := Key("entry", i)
+		keys = append(keys, k)
+		if err := s.Put(k, testPayload()); err != nil {
+			t.Fatal(err)
+		}
+		// Pin distinct, increasing mtimes so LRU order is unambiguous
+		// regardless of filesystem timestamp granularity.
+		mt := time.Now().Add(time.Duration(i-10) * time.Hour)
+		if err := os.Chtimes(s.path(k), mt, mt); err != nil {
+			t.Fatal(err)
+		}
+	}
+	_, total, err := s.Size()
+	if err != nil {
+		t.Fatal(err)
+	}
+	perEntry := total / 4
+
+	// Touch the oldest entry via Get: it becomes the most recent.
+	var got payload
+	if !s.Get(keys[0], &got) {
+		t.Fatal("entry 0 missed before eviction")
+	}
+
+	// Shrink the cap to two entries and trigger eviction with a Put.
+	s.maxBytes = perEntry*3 + perEntry/2
+	k, _ := Key("entry", 99)
+	if err := s.Put(k, testPayload()); err != nil {
+		t.Fatal(err)
+	}
+
+	for i, want := range map[int]bool{0: true, 1: false, 2: false, 3: true} {
+		if got := s.Get(keys[i], &payload{}); got != want {
+			t.Errorf("after eviction, entry %d present=%v, want %v", i, got, want)
+		}
+	}
+	if s.Stats().Evictions == 0 {
+		t.Error("no evictions recorded")
+	}
+}
+
+func TestConcurrentPutGet(t *testing.T) {
+	s := open(t, 0)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				key, _ := Key("concurrent", i%10)
+				want := testPayload()
+				want.Time = int64(i % 10)
+				if err := s.Put(key, want); err != nil {
+					t.Error(err)
+					return
+				}
+				var got payload
+				if s.Get(key, &got) && got.Name != want.Name {
+					t.Errorf("goroutine %d read torn entry %+v", g, got)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+func TestOpenRejectsEmptyDir(t *testing.T) {
+	if _, err := Open("", 0); err == nil {
+		t.Error("Open(\"\") succeeded")
+	}
+}
+
+func TestIgnoresForeignFiles(t *testing.T) {
+	s := open(t, 0)
+	if err := os.WriteFile(filepath.Join(s.Dir(), "README.txt"), []byte("hello"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	key, _ := Key("x")
+	if err := s.Put(key, testPayload()); err != nil {
+		t.Fatal(err)
+	}
+	entries, _, err := s.Size()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if entries != 1 {
+		t.Errorf("Size counted foreign files: %d entries", entries)
+	}
+	// Eviction must not delete foreign files either.
+	s.maxBytes = 1
+	k2, _ := Key("y")
+	s.Put(k2, testPayload())
+	if _, err := os.Stat(filepath.Join(s.Dir(), "README.txt")); err != nil {
+		t.Errorf("foreign file removed by eviction: %v", err)
+	}
+}
+
+func TestKeyRejectsUnencodable(t *testing.T) {
+	if _, err := Key(func() {}); err == nil {
+		t.Error("Key(func) succeeded")
+	}
+}
+
+func ExampleStore() {
+	dir, _ := os.MkdirTemp("", "simcache-example-")
+	defer os.RemoveAll(dir)
+	s, _ := Open(dir, 0)
+	key, _ := Key(Fingerprint(payload{}), "truth", "xalan", 1000)
+	s.Put(key, payload{Name: "xalan", Time: 42})
+	var out payload
+	fmt.Println(s.Get(key, &out), out.Time)
+	// Output: true 42
+}
