@@ -1,0 +1,30 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"depburst/internal/server"
+)
+
+// mergeLoadReport inserts the load report into a BENCH_suite.json-style
+// document under the "loadtest" key, preserving every other field the bench
+// command wrote (read-modify-write on the generic JSON object, so the two
+// commands can share one file without knowing each other's schema).
+func mergeLoadReport(path string, rep *server.LoadReport) error {
+	doc := map[string]any{"schema": "depburst-bench/1"}
+	if b, err := os.ReadFile(path); err == nil {
+		if err := json.Unmarshal(b, &doc); err != nil {
+			return fmt.Errorf("loadtest: %s exists but is not JSON: %w", path, err)
+		}
+	} else if !os.IsNotExist(err) {
+		return err
+	}
+	doc["loadtest"] = rep
+	b, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
+}

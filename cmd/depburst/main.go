@@ -131,6 +131,13 @@ commands:
   doctor            quick self-check: determinism, accuracy, energy sanity
   offline -obs FILE [-target MHz]          predict offline from a recording
   predict -bench NAME [-base MHz] [-target MHz]  all models on one benchmark
+  serve [-addr HOST:PORT] [-max-queue N] [-request-workers N] [-timeout D]
+        [-step MHz] [-suite FILE]
+                    prediction-as-a-service HTTP API (see README "Serving");
+                    honours the global -j and -cache flags
+  loadtest [-addr HOST:PORT] [-rps N] [-duration D] [-bench NAME]
+           [-p99-ms MS] [-o FILE]
+                    drive a running server and assert p99 + zero 5xx
 `)
 	os.Exit(2)
 }
@@ -296,6 +303,10 @@ global:
 		cmdOffline(args)
 	case "predict":
 		cmdPredict(r, args)
+	case "serve":
+		cmdServe(r, args)
+	case "loadtest":
+		cmdLoadtest(args)
 	default:
 		usage()
 	}

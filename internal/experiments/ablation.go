@@ -11,7 +11,7 @@ import (
 // Leading Loads, CRIT — §II-A) inside the full DEP+BURST epoch model: the
 // paper's motivation for building on CRIT.
 func (r *Runner) EngineAblation() *report.Table {
-	r.Prewarm(dacapo.Suite(), 1000, 4000)
+	r.Prewarm(r.Suite(), 1000, 4000)
 	engines := []core.Engine{core.StallTime, core.LeadingLoads, core.CRIT}
 	t := &report.Table{
 		Title:  "Ablation: per-thread engine inside DEP+BURST (avg abs error)",
@@ -26,7 +26,7 @@ func (r *Runner) EngineAblation() *report.Table {
 		for _, eng := range engines {
 			m := core.NewDEP(core.Options{Engine: eng, Burst: true})
 			var errs []float64
-			for _, spec := range dacapo.Suite() {
+			for _, spec := range r.Suite() {
 				errs = append(errs, r.PredictionError(spec, m, d.base, d.target))
 			}
 			row = append(row, report.PctAbs(report.MeanAbs(errs)))
@@ -106,8 +106,8 @@ func (r *Runner) DRAMVariabilityAblation() *report.Table {
 	fixed.Base.Hier.DRAM.TCAS = 27500 // one uniform 27.5 ns access
 
 	r.FanOut(
-		func() { r.Prewarm(dacapo.Suite(), 4000, 1000) },
-		func() { fixed.Prewarm(dacapo.Suite(), 4000, 1000) })
+		func() { r.Prewarm(r.Suite(), 4000, 1000) },
+		func() { fixed.Prewarm(r.Suite(), 4000, 1000) })
 
 	t := &report.Table{
 		Title:  "Ablation: variable vs fixed DRAM latency, DEP+BURST engines (avg abs error, 4->1 GHz)",
@@ -118,7 +118,7 @@ func (r *Runner) DRAMVariabilityAblation() *report.Table {
 		rn   *Runner
 	}{{"variable (default)", r}, {"fixed latency", fixed}} {
 		var errCrit, errLL []float64
-		for _, spec := range dacapo.Suite() {
+		for _, spec := range r.Suite() {
 			crit := core.NewDEP(core.Options{Engine: core.CRIT, Burst: true})
 			ll := core.NewDEP(core.Options{Engine: core.LeadingLoads, Burst: true})
 			errCrit = append(errCrit, row.rn.PredictionError(spec, crit, 4000, 1000))

@@ -1,7 +1,7 @@
 package experiments
 
 import (
-	"fmt"
+	"context"
 
 	"depburst/internal/dacapo"
 	"depburst/internal/energy"
@@ -15,53 +15,65 @@ import (
 // singleflight-deduplicated like Truth).
 func (r *Runner) coRunTruth(a, b dacapo.Spec, f units.Freq) *sim.Result {
 	e := r.truthEntryFor(truthKey{bench: "corun/" + a.Name + "+" + b.Name, freq: f})
-	e.once.Do(func() {
+	res, _, err := e.do(r.context(), func(ctx context.Context) (*sim.Result, any, error) {
+		if err := ctx.Err(); err != nil {
+			return nil, nil, err
+		}
 		cfg := r.Base
 		cfg.Freq = f
 		a.Configure(&cfg) // tenant 0 uses the machine's default JVM
 		key, ok := r.diskKey("corun-truth", cfg, a, b)
 		if res := r.diskGet(key, ok); res != nil {
-			e.res = res
-			return
+			return res, nil, nil
 		}
-		defer r.gate()()
-		m := sim.New(cfg)
-		out, err := m.Run(&dacapo.CoRun{Specs: []dacapo.Spec{a, b}})
+		release, err := r.gate(ctx)
 		if err != nil {
-			panic(fmt.Sprintf("experiments: co-run %s+%s@%v: %v", a.Name, b.Name, f, err))
+			return nil, nil, err
 		}
-		e.res = &out
-		r.diskPut(key, ok, &out)
+		defer release()
+		res, err := r.simulate(ctx, cfg, nil, &dacapo.CoRun{Specs: []dacapo.Spec{a, b}})
+		if err != nil {
+			return nil, nil, err
+		}
+		r.diskPut(key, ok, res)
+		return res, nil, nil
 	})
-	return e.res
+	if err != nil {
+		panic(canceled{err})
+	}
+	return res
 }
 
 // coRunManaged runs the consolidated pair under the chip-wide energy
 // manager (memoised).
 func (r *Runner) coRunManaged(a, b dacapo.Spec, threshold float64) *sim.Result {
-	e := r.runEntryFor(runKey{kind: runCoRunChip, bench: a.Name + "+" + b.Name, threshold: threshold, holdOff: 1})
-	e.once.Do(func() {
-		cfg := r.Base
-		cfg.Freq = FMax
-		a.Configure(&cfg)
-		mcfg := energy.DefaultManagerConfig(threshold)
-		key, ok := r.diskKey("corun-chip", cfg, a, b, mcfg)
-		if res := r.diskGet(key, ok); res != nil {
-			e.res = res
-			return
-		}
-		defer r.gate()()
-		mg := energy.NewManager(mcfg)
-		m := sim.New(cfg)
-		m.SetGovernor(mg.Governor())
-		out, err := m.Run(&dacapo.CoRun{Specs: []dacapo.Spec{a, b}})
-		if err != nil {
-			panic(err)
-		}
-		e.res, e.mgr = &out, mg
-		r.diskPut(key, ok, &out)
-	})
-	return e.res
+	res, _ := r.runDo(runKey{kind: runCoRunChip, bench: a.Name + "+" + b.Name, threshold: threshold, holdOff: 1},
+		func(ctx context.Context) (*sim.Result, any, error) {
+			if err := ctx.Err(); err != nil {
+				return nil, nil, err
+			}
+			cfg := r.Base
+			cfg.Freq = FMax
+			a.Configure(&cfg)
+			mcfg := energy.DefaultManagerConfig(threshold)
+			key, ok := r.diskKey("corun-chip", cfg, a, b, mcfg)
+			if res := r.diskGet(key, ok); res != nil {
+				return res, nil, nil
+			}
+			release, err := r.gate(ctx)
+			if err != nil {
+				return nil, nil, err
+			}
+			defer release()
+			mg := energy.NewManager(mcfg)
+			res, err := r.simulate(ctx, cfg, func(m *sim.Machine) { m.SetGovernor(mg.Governor()) }, &dacapo.CoRun{Specs: []dacapo.Spec{a, b}})
+			if err != nil {
+				return nil, nil, err
+			}
+			r.diskPut(key, ok, res)
+			return res, mg, nil
+		})
+	return res
 }
 
 // tenantEnd returns when the given tenant's application threads finished

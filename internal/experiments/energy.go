@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"context"
+
 	"depburst/internal/dacapo"
 	"depburst/internal/energy"
 	"depburst/internal/report"
@@ -20,59 +22,67 @@ func (r *Runner) ManagedRun(spec dacapo.Spec, threshold float64) (*sim.Result, *
 }
 
 func (r *Runner) managedRunHold(spec dacapo.Spec, threshold float64, holdOff int) (*sim.Result, *energy.Manager) {
-	e := r.runEntryFor(runKey{kind: runChip, bench: spec.Name, threshold: threshold, holdOff: holdOff})
-	e.once.Do(func() {
-		cfg := r.Base
-		cfg.Freq = FMax
-		spec.Configure(&cfg)
-		mcfg := energy.DefaultManagerConfig(threshold)
-		mcfg.HoldOff = holdOff
-		key, ok := r.diskKey("chip", cfg, spec, mcfg)
-		if res := r.diskGet(key, ok); res != nil {
-			e.res = res
-			return
-		}
-		defer r.gate()()
-		mg := energy.NewManager(mcfg)
-		m := sim.New(cfg)
-		m.SetGovernor(mg.Governor())
-		res, err := m.Run(dacapo.New(spec))
-		if err != nil {
-			panic(err)
-		}
-		e.res, e.mgr = &res, mg
-		r.diskPut(key, ok, &res)
-	})
-	mg, _ := e.mgr.(*energy.Manager)
-	return e.res, mg
+	res, mgrAny := r.runDo(runKey{kind: runChip, bench: spec.Name, threshold: threshold, holdOff: holdOff},
+		func(ctx context.Context) (*sim.Result, any, error) {
+			if err := ctx.Err(); err != nil {
+				return nil, nil, err
+			}
+			cfg := r.Base
+			cfg.Freq = FMax
+			spec.Configure(&cfg)
+			mcfg := energy.DefaultManagerConfig(threshold)
+			mcfg.HoldOff = holdOff
+			key, ok := r.diskKey("chip", cfg, spec, mcfg)
+			if res := r.diskGet(key, ok); res != nil {
+				return res, nil, nil
+			}
+			release, err := r.gate(ctx)
+			if err != nil {
+				return nil, nil, err
+			}
+			defer release()
+			mg := energy.NewManager(mcfg)
+			res, err := r.simulate(ctx, cfg, func(m *sim.Machine) { m.SetGovernor(mg.Governor()) }, dacapo.New(spec))
+			if err != nil {
+				return nil, nil, err
+			}
+			r.diskPut(key, ok, res)
+			return res, mg, nil
+		})
+	mg, _ := mgrAny.(*energy.Manager)
+	return res, mg
 }
 
 func (r *Runner) managedRunQuantum(spec dacapo.Spec, threshold float64, quantum units.Time) (*sim.Result, *energy.Manager) {
-	e := r.runEntryFor(runKey{kind: runChip, bench: spec.Name, threshold: threshold, holdOff: 1, quantum: quantum})
-	e.once.Do(func() {
-		cfg := r.Base
-		cfg.Freq = FMax
-		cfg.Quantum = quantum
-		spec.Configure(&cfg)
-		mcfg := energy.DefaultManagerConfig(threshold)
-		key, ok := r.diskKey("chip", cfg, spec, mcfg)
-		if res := r.diskGet(key, ok); res != nil {
-			e.res = res
-			return
-		}
-		defer r.gate()()
-		mg := energy.NewManager(mcfg)
-		m := sim.New(cfg)
-		m.SetGovernor(mg.Governor())
-		res, err := m.Run(dacapo.New(spec))
-		if err != nil {
-			panic(err)
-		}
-		e.res, e.mgr = &res, mg
-		r.diskPut(key, ok, &res)
-	})
-	mg, _ := e.mgr.(*energy.Manager)
-	return e.res, mg
+	res, mgrAny := r.runDo(runKey{kind: runChip, bench: spec.Name, threshold: threshold, holdOff: 1, quantum: quantum},
+		func(ctx context.Context) (*sim.Result, any, error) {
+			if err := ctx.Err(); err != nil {
+				return nil, nil, err
+			}
+			cfg := r.Base
+			cfg.Freq = FMax
+			cfg.Quantum = quantum
+			spec.Configure(&cfg)
+			mcfg := energy.DefaultManagerConfig(threshold)
+			key, ok := r.diskKey("chip", cfg, spec, mcfg)
+			if res := r.diskGet(key, ok); res != nil {
+				return res, nil, nil
+			}
+			release, err := r.gate(ctx)
+			if err != nil {
+				return nil, nil, err
+			}
+			defer release()
+			mg := energy.NewManager(mcfg)
+			res, err := r.simulate(ctx, cfg, func(m *sim.Machine) { m.SetGovernor(mg.Governor()) }, dacapo.New(spec))
+			if err != nil {
+				return nil, nil, err
+			}
+			r.diskPut(key, ok, res)
+			return res, mg, nil
+		})
+	mg, _ := mgrAny.(*energy.Manager)
+	return res, mg
 }
 
 // Fig6 reproduces Figure 6: per-benchmark slowdown and energy savings under
@@ -81,7 +91,7 @@ func (r *Runner) managedRunQuantum(spec dacapo.Spec, threshold float64, quantum 
 func (r *Runner) Fig6() *report.Table {
 	thresholds := []float64{0.05, 0.10}
 	var warm []func()
-	for _, spec := range dacapo.Suite() {
+	for _, spec := range r.Suite() {
 		spec := spec
 		warm = append(warm, func() { r.Truth(spec, FMax) })
 		for _, thr := range thresholds {
@@ -97,7 +107,7 @@ func (r *Runner) Fig6() *report.Table {
 			"slowdown@5%", "savings@5%", "slowdown@10%", "savings@10%"},
 	}
 	var mSave5, mSave10 []float64
-	for _, spec := range dacapo.Suite() {
+	for _, spec := range r.Suite() {
 		ref := r.Truth(spec, FMax)
 		row := []string{spec.Name, spec.Class()}
 		for _, thr := range thresholds {
@@ -125,30 +135,34 @@ func (r *Runner) Fig6() *report.Table {
 // PerCoreRun executes spec under the per-core DVFS manager (memoised).
 // The manager is nil when the result came from the persistent disk cache.
 func (r *Runner) PerCoreRun(spec dacapo.Spec, threshold float64) (*sim.Result, *energy.PerCoreManager) {
-	e := r.runEntryFor(runKey{kind: runPerCore, bench: spec.Name, threshold: threshold})
-	e.once.Do(func() {
-		cfg := r.Base
-		cfg.Freq = FMax
-		spec.Configure(&cfg)
-		mcfg := energy.DefaultManagerConfig(threshold)
-		key, ok := r.diskKey("percore", cfg, spec, mcfg)
-		if res := r.diskGet(key, ok); res != nil {
-			e.res = res
-			return
-		}
-		defer r.gate()()
-		mg := energy.NewPerCoreManager(mcfg)
-		m := sim.New(cfg)
-		m.SetCoreGovernor(mg.Governor())
-		res, err := m.Run(dacapo.New(spec))
-		if err != nil {
-			panic(err)
-		}
-		e.res, e.mgr = &res, mg
-		r.diskPut(key, ok, &res)
-	})
-	mg, _ := e.mgr.(*energy.PerCoreManager)
-	return e.res, mg
+	res, mgrAny := r.runDo(runKey{kind: runPerCore, bench: spec.Name, threshold: threshold},
+		func(ctx context.Context) (*sim.Result, any, error) {
+			if err := ctx.Err(); err != nil {
+				return nil, nil, err
+			}
+			cfg := r.Base
+			cfg.Freq = FMax
+			spec.Configure(&cfg)
+			mcfg := energy.DefaultManagerConfig(threshold)
+			key, ok := r.diskKey("percore", cfg, spec, mcfg)
+			if res := r.diskGet(key, ok); res != nil {
+				return res, nil, nil
+			}
+			release, err := r.gate(ctx)
+			if err != nil {
+				return nil, nil, err
+			}
+			defer release()
+			mg := energy.NewPerCoreManager(mcfg)
+			res, err := r.simulate(ctx, cfg, func(m *sim.Machine) { m.SetCoreGovernor(mg.Governor()) }, dacapo.New(spec))
+			if err != nil {
+				return nil, nil, err
+			}
+			r.diskPut(key, ok, res)
+			return res, mg, nil
+		})
+	mg, _ := mgrAny.(*energy.PerCoreManager)
+	return res, mg
 }
 
 // PerCoreDVFS is the future-work extension experiment (§VII): chip-wide
@@ -156,7 +170,7 @@ func (r *Runner) PerCoreRun(spec dacapo.Spec, threshold float64) (*sim.Result, *
 // slowdown bound.
 func (r *Runner) PerCoreDVFS(threshold float64) *report.Table {
 	var warm []func()
-	for _, spec := range dacapo.Suite() {
+	for _, spec := range r.Suite() {
 		spec := spec
 		warm = append(warm,
 			func() { r.Truth(spec, FMax) },
@@ -171,7 +185,7 @@ func (r *Runner) PerCoreDVFS(threshold float64) *report.Table {
 			"chip slowdown", "chip savings", "per-core slowdown", "per-core savings"},
 	}
 	var chipM, coreM []float64
-	for _, spec := range dacapo.Suite() {
+	for _, spec := range r.Suite() {
 		ref := r.Truth(spec, FMax)
 		chip, _ := r.ManagedRun(spec, threshold)
 		pc, _ := r.PerCoreRun(spec, threshold)
@@ -228,7 +242,7 @@ func (r *Runner) Fig7(step units.Freq) *report.Table {
 	// wall-clock (~|freqs| truth runs each), plus the reference and the
 	// managed run.
 	var warm []func()
-	for _, spec := range dacapo.Suite() {
+	for _, spec := range r.Suite() {
 		spec := spec
 		warm = append(warm,
 			func() { r.Truth(spec, FMax) },
@@ -246,7 +260,7 @@ func (r *Runner) Fig7(step units.Freq) *report.Table {
 			"static freq", "static slowdown"},
 	}
 	var dynM, statM []float64
-	for _, spec := range dacapo.Suite() {
+	for _, spec := range r.Suite() {
 		ref := r.Truth(spec, FMax)
 
 		res, _ := r.ManagedRun(spec, threshold)

@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"context"
+
 	"depburst/internal/dacapo"
 	"depburst/internal/energy"
 	"depburst/internal/report"
@@ -11,30 +13,34 @@ import (
 // (memoised). The manager is nil when the result came from the persistent
 // disk cache.
 func (r *Runner) FeedbackRun(spec dacapo.Spec, threshold float64) (*sim.Result, *energy.FeedbackManager) {
-	e := r.runEntryFor(runKey{kind: runFeedback, bench: spec.Name, threshold: threshold})
-	e.once.Do(func() {
-		cfg := r.Base
-		cfg.Freq = FMax
-		spec.Configure(&cfg)
-		mcfg := energy.DefaultManagerConfig(threshold)
-		key, ok := r.diskKey("feedback", cfg, spec, mcfg)
-		if res := r.diskGet(key, ok); res != nil {
-			e.res = res
-			return
-		}
-		defer r.gate()()
-		mg := energy.NewFeedbackManager(mcfg)
-		m := sim.New(cfg)
-		m.SetGovernor(mg.Governor())
-		res, err := m.Run(dacapo.New(spec))
-		if err != nil {
-			panic(err)
-		}
-		e.res, e.mgr = &res, mg
-		r.diskPut(key, ok, &res)
-	})
-	mg, _ := e.mgr.(*energy.FeedbackManager)
-	return e.res, mg
+	res, mgrAny := r.runDo(runKey{kind: runFeedback, bench: spec.Name, threshold: threshold},
+		func(ctx context.Context) (*sim.Result, any, error) {
+			if err := ctx.Err(); err != nil {
+				return nil, nil, err
+			}
+			cfg := r.Base
+			cfg.Freq = FMax
+			spec.Configure(&cfg)
+			mcfg := energy.DefaultManagerConfig(threshold)
+			key, ok := r.diskKey("feedback", cfg, spec, mcfg)
+			if res := r.diskGet(key, ok); res != nil {
+				return res, nil, nil
+			}
+			release, err := r.gate(ctx)
+			if err != nil {
+				return nil, nil, err
+			}
+			defer release()
+			mg := energy.NewFeedbackManager(mcfg)
+			res, err := r.simulate(ctx, cfg, func(m *sim.Machine) { m.SetGovernor(mg.Governor()) }, dacapo.New(spec))
+			if err != nil {
+				return nil, nil, err
+			}
+			r.diskPut(key, ok, res)
+			return res, mg, nil
+		})
+	mg, _ := mgrAny.(*energy.FeedbackManager)
+	return res, mg
 }
 
 // FeedbackAblation compares the paper's open-loop manager with the
@@ -43,7 +49,7 @@ func (r *Runner) FeedbackRun(spec dacapo.Spec, threshold float64) (*sim.Result, 
 // least as much energy.
 func (r *Runner) FeedbackAblation(threshold float64) *report.Table {
 	var warm []func()
-	for _, spec := range dacapo.Suite() {
+	for _, spec := range r.Suite() {
 		spec := spec
 		warm = append(warm,
 			func() { r.Truth(spec, FMax) },
@@ -58,7 +64,7 @@ func (r *Runner) FeedbackAblation(threshold float64) *report.Table {
 			"open slowdown", "open savings", "fb slowdown", "fb savings"},
 	}
 	var openM, fbM, openOver, fbOver []float64
-	for _, spec := range dacapo.Suite() {
+	for _, spec := range r.Suite() {
 		ref := r.Truth(spec, FMax)
 		open, _ := r.ManagedRun(spec, threshold)
 		fb, _ := r.FeedbackRun(spec, threshold)

@@ -19,7 +19,7 @@ func (r *Runner) PredictionError(spec dacapo.Spec, m core.Model, base, target un
 // Fig1 reproduces Figure 1: average absolute prediction error of M+CRIT
 // versus DEP+BURST for target frequencies 2-4 GHz from a 1 GHz baseline.
 func (r *Runner) Fig1() *report.Table {
-	r.Prewarm(dacapo.Suite(), 1000, 2000, 3000, 4000)
+	r.Prewarm(r.Suite(), 1000, 2000, 3000, 4000)
 	models := []core.Model{
 		core.NewMCrit(core.Options{}),
 		core.NewDEPBurst(),
@@ -32,7 +32,7 @@ func (r *Runner) Fig1() *report.Table {
 		row := []string{target.String()}
 		for _, m := range models {
 			var errs []float64
-			for _, spec := range dacapo.Suite() {
+			for _, spec := range r.Suite() {
 				errs = append(errs, r.PredictionError(spec, m, 1000, target))
 			}
 			row = append(row, report.PctAbs(report.MeanAbs(errs)))
@@ -46,7 +46,7 @@ func (r *Runner) Fig1() *report.Table {
 // fig3 builds one direction of Figure 3: per-benchmark errors for all six
 // models at each target frequency.
 func (r *Runner) fig3(title string, base units.Freq, targets []units.Freq) *report.Table {
-	r.Prewarm(dacapo.Suite(), append([]units.Freq{base}, targets...)...)
+	r.Prewarm(r.Suite(), append([]units.Freq{base}, targets...)...)
 	models := Models()
 	header := []string{"benchmark", "target"}
 	for _, m := range models {
@@ -55,7 +55,7 @@ func (r *Runner) fig3(title string, base units.Freq, targets []units.Freq) *repo
 	t := &report.Table{Title: title, Header: header}
 
 	errsByModel := make([][]float64, len(models))
-	for _, spec := range dacapo.Suite() {
+	for _, spec := range r.Suite() {
 		obs := Observe(r.Truth(spec, base))
 		for _, target := range targets {
 			actual := r.Truth(spec, target).Time
@@ -79,7 +79,7 @@ func (r *Runner) fig3(title string, base units.Freq, targets []units.Freq) *repo
 		row := []string{"avg abs", target.String()}
 		for mi := range models {
 			var sub []float64
-			for bi := 0; bi < len(dacapo.Suite()); bi++ {
+			for bi := 0; bi < len(r.Suite()); bi++ {
 				sub = append(sub, errsByModel[mi][bi*len(targets)+ti])
 			}
 			row = append(row, report.PctAbs(report.MeanAbs(sub)))
@@ -108,7 +108,7 @@ func (r *Runner) Fig3b() *report.Table {
 // Fig4 reproduces Figure 4: DEP+BURST with across-epoch versus per-epoch
 // critical thread prediction, in both directions.
 func (r *Runner) Fig4() *report.Table {
-	r.Prewarm(dacapo.Suite(), 1000, 4000)
+	r.Prewarm(r.Suite(), 1000, 4000)
 	across := core.NewDEP(core.Options{Burst: true})
 	per := core.NewDEP(core.Options{Burst: true, PerEpochCTP: true})
 	t := &report.Table{
@@ -121,7 +121,7 @@ func (r *Runner) Fig4() *report.Table {
 	}
 	dirs := []dir{{"1->4GHz", 1000, 4000}, {"4->1GHz", 4000, 1000}}
 	sums := map[string][]float64{}
-	for _, spec := range dacapo.Suite() {
+	for _, spec := range r.Suite() {
 		for _, d := range dirs {
 			ea := r.PredictionError(spec, across, d.base, d.target)
 			ep := r.PredictionError(spec, per, d.base, d.target)
@@ -142,12 +142,12 @@ func (r *Runner) Fig4() *report.Table {
 // Table1 reproduces Table I: benchmark class, heap size, execution time and
 // GC time at 1 GHz (simulated values are ~100x compressed vs the paper).
 func (r *Runner) Table1() *report.Table {
-	r.Prewarm(dacapo.Suite(), 1000)
+	r.Prewarm(r.Suite(), 1000)
 	t := &report.Table{
 		Title:  "Table I: benchmarks at 1 GHz (times ~100x compressed vs paper)",
 		Header: []string{"benchmark", "type", "heap(MB)", "exec(ms)", "gc(ms)", "gc%", "minor", "major"},
 	}
-	for _, spec := range dacapo.Suite() {
+	for _, spec := range r.Suite() {
 		res := r.Truth(spec, 1000)
 		t.AddRow(spec.Name, spec.Class(),
 			itoa(spec.HeapMB),

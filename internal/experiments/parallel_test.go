@@ -135,9 +135,9 @@ func TestPrewarmFillsCache(t *testing.T) {
 	r := NewRunnerWorkers(4)
 	spec, _ := dacapo.ByName("pmd.scale")
 	r.Prewarm([]dacapo.Spec{spec}, 1000, 2000)
-	r.mu.Lock()
-	n := len(r.cache)
-	r.mu.Unlock()
+	r.memo.mu.Lock()
+	n := len(r.memo.truth)
+	r.memo.mu.Unlock()
 	if n != 2 {
 		t.Fatalf("cache has %d entries after Prewarm, want 2", n)
 	}

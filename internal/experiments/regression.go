@@ -2,7 +2,6 @@ package experiments
 
 import (
 	"depburst/internal/core"
-	"depburst/internal/dacapo"
 	"depburst/internal/report"
 	"depburst/internal/units"
 )
@@ -25,10 +24,10 @@ func (r *Runner) RegressionComparison() *report.Table {
 	trainer := r.fork()
 	trainer.Base.Seed = r.Base.Seed + 100
 	r.FanOut(
-		func() { trainer.Prewarm(dacapo.Suite(), 1000, 2000) },
-		func() { r.Prewarm(dacapo.Suite(), 1000, 3000, 4000) })
+		func() { trainer.Prewarm(r.Suite(), 1000, 2000) },
+		func() { r.Prewarm(r.Suite(), 1000, 3000, 4000) })
 	var regErrs, depErrs []float64
-	for _, spec := range dacapo.Suite() {
+	for _, spec := range r.Suite() {
 		t1 := trainer.Truth(spec, 1000)
 		t2 := trainer.Truth(spec, 2000)
 		reg, err := core.FitRegression([]core.TrainingPoint{

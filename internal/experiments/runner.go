@@ -10,12 +10,20 @@
 // (Prewarm / FanOut), and rows are then assembled serially from the
 // memoised results — which makes the rendered tables byte-identical at any
 // worker count.
+//
+// The Runner is also cancellable: WithContext binds a context, every
+// simulation polls it once per sampling quantum, and cancellation unwinds
+// through table assembly as a typed panic that Cancelable converts back
+// into the context's error. A cancelled flight is retried by the next
+// caller, so one aborted request never poisons the shared memo tables.
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"depburst/internal/core"
 	"depburst/internal/dacapo"
@@ -56,9 +64,29 @@ type Runner struct {
 	// written back. nil (the default) keeps the Runner purely in-memory.
 	disk *simcache.Store
 
+	// ctx is the binding context installed by WithContext; nil means
+	// context.Background() (never cancelled, the CLI default).
+	ctx context.Context
+
+	// suite overrides the benchmark set the Runner's experiments iterate
+	// (nil = the stock paper suite). Serving and tests use small or
+	// scaled suites; forks inherit the override.
+	suite []dacapo.Spec
+
+	// sims counts simulations actually executed (not served from memo or
+	// disk). Shared across WithContext bindings and forks so servers can
+	// assert and export one global figure.
+	sims *atomic.Int64
+
+	// memo holds the singleflight tables. WithContext bindings share it;
+	// fork creates a fresh one (different machine template, same pool).
+	memo *memo
+}
+
+type memo struct {
 	mu    sync.Mutex
-	cache map[truthKey]*truthEntry
-	runs  map[runKey]*runEntry
+	truth map[truthKey]*entry
+	runs  map[runKey]*entry
 }
 
 // resultFingerprint pins the structure of sim.Result into every disk-cache
@@ -71,6 +99,70 @@ func (r *Runner) SetDiskCache(s *simcache.Store) { r.disk = s }
 
 // DiskCache returns the attached persistent store (nil when disabled).
 func (r *Runner) DiskCache() *simcache.Store { return r.disk }
+
+// SetSuite overrides the benchmark suite the Runner's experiments iterate
+// (nil restores the stock paper suite). Set it before launching work.
+func (r *Runner) SetSuite(specs []dacapo.Spec) { r.suite = specs }
+
+// Suite returns the benchmark set experiments iterate: the override
+// installed by SetSuite, or the stock paper suite.
+func (r *Runner) Suite() []dacapo.Spec {
+	if r.suite != nil {
+		return r.suite
+	}
+	return dacapo.Suite()
+}
+
+// Simulations reports how many simulations this Runner (including its
+// WithContext bindings and forks) actually executed — memo and disk-cache
+// hits are not counted. Servers use it to verify request coalescing.
+func (r *Runner) Simulations() int64 { return r.sims.Load() }
+
+// WithContext returns a Runner bound to ctx that shares this Runner's memo
+// tables, worker pool, disk cache and simulation counter. Work launched
+// through the binding — including experiment table methods — aborts
+// promptly once ctx is cancelled: simulations poll the context each
+// sampling quantum, and the cancellation unwinds as a panic that Cancelable
+// converts back into an error.
+func (r *Runner) WithContext(ctx context.Context) *Runner {
+	nr := *r
+	nr.ctx = ctx
+	return &nr
+}
+
+// context returns the binding context (Background when unbound).
+func (r *Runner) context() context.Context {
+	if r.ctx != nil {
+		return r.ctx
+	}
+	return context.Background()
+}
+
+// canceled is the panic value a bound Runner uses to unwind table assembly
+// when its context is cancelled. Cancelable converts it into the error.
+type canceled struct{ err error }
+
+// Cancelable runs fn, converting a Runner cancellation unwind into the
+// context's error. Wrap experiment-table calls on a WithContext-bound
+// Runner:
+//
+//	rc := r.WithContext(ctx)
+//	err := experiments.Cancelable(func() { table = rc.Fig1() })
+func Cancelable(fn func()) (err error) {
+	defer func() {
+		p := recover()
+		if p == nil {
+			return
+		}
+		if c, ok := p.(canceled); ok {
+			err = c.err
+			return
+		}
+		panic(p)
+	}()
+	fn()
+	return nil
+}
 
 // diskKey computes the content address for one run family: the result
 // schema fingerprint, the run kind, the complete machine configuration
@@ -115,13 +207,6 @@ type truthKey struct {
 	freq  units.Freq
 }
 
-// truthEntry is one singleflight cache slot: the first caller executes the
-// simulation inside once; everyone else blocks on it and shares the result.
-type truthEntry struct {
-	once sync.Once
-	res  *sim.Result
-}
-
 // runKind distinguishes the governed (energy-managed) run families, which
 // are memoised alongside truth runs with their tuning parameters as key.
 type runKind uint8
@@ -141,10 +226,68 @@ type runKey struct {
 	quantum   units.Time
 }
 
-type runEntry struct {
-	once sync.Once
+// entry is one singleflight memo slot. Unlike a sync.Once slot it is
+// retryable: a flight that fails (cancellation) is cleared so the next
+// caller re-executes it, while a successful flight memoises its result
+// forever. res non-nil means complete; done non-nil means in flight.
+type entry struct {
+	mu   sync.Mutex
+	done chan struct{}
 	res  *sim.Result
 	mgr  any
+}
+
+// execFn is one run family's body. It returns the result and (for governed
+// families) the manager. It must return a non-nil error only for context
+// cancellation; simulator failures panic, as they indicate bugs.
+type execFn func(ctx context.Context) (*sim.Result, any, error)
+
+// do resolves the slot: a memoised result returns immediately, an
+// in-flight one is waited on (abandoning the wait, but not the flight, when
+// ctx is cancelled first), and an idle one is executed by this caller.
+func (e *entry) do(ctx context.Context, exec execFn) (*sim.Result, any, error) {
+	for {
+		e.mu.Lock()
+		if e.res != nil {
+			res, mgr := e.res, e.mgr
+			e.mu.Unlock()
+			return res, mgr, nil
+		}
+		if e.done == nil {
+			done := make(chan struct{})
+			e.done = done
+			e.mu.Unlock()
+			return e.lead(ctx, exec, done)
+		}
+		done := e.done
+		e.mu.Unlock()
+		select {
+		case <-done:
+			// Loop: either the flight succeeded (res is set) or it was
+			// cancelled and this caller should retry it.
+		case <-ctx.Done():
+			return nil, nil, ctx.Err()
+		}
+	}
+}
+
+// lead executes the body as the flight leader and publishes the outcome:
+// success memoises the result; an error or panic clears the flight so a
+// later caller retries instead of inheriting the failure.
+func (e *entry) lead(ctx context.Context, exec execFn, done chan struct{}) (res *sim.Result, mgr any, err error) {
+	completed := false
+	defer func() {
+		e.mu.Lock()
+		if completed {
+			e.res, e.mgr = res, mgr
+		}
+		e.done = nil
+		close(done)
+		e.mu.Unlock()
+	}()
+	res, mgr, err = exec(ctx)
+	completed = err == nil
+	return res, mgr, err
 }
 
 // NewRunner returns a Runner over the default machine with a worker pool
@@ -157,16 +300,20 @@ func NewRunner() *Runner {
 // simulations concurrently. n <= 1 gives fully serial execution.
 func NewRunnerWorkers(n int) *Runner {
 	r := &Runner{
-		Base:  sim.DefaultConfig(),
-		cache: make(map[truthKey]*truthEntry),
-		runs:  make(map[runKey]*runEntry),
+		Base: sim.DefaultConfig(),
+		sims: new(atomic.Int64),
+		memo: &memo{
+			truth: make(map[truthKey]*entry),
+			runs:  make(map[runKey]*entry),
+		},
 	}
 	r.SetWorkers(n)
 	return r
 }
 
-// SetWorkers resizes the simulation pool. Call it before launching work;
-// in-flight simulations keep the slot they already hold.
+// SetWorkers resizes the simulation pool. Call it before launching work
+// (and before WithContext/fork derivations); in-flight simulations keep the
+// slot they already hold.
 func (r *Runner) SetWorkers(n int) {
 	if n < 1 {
 		n = 1
@@ -183,84 +330,131 @@ func (r *Runner) Workers() int { return r.workers }
 // seeds, GC policies, DRAM models), so their fan-out still respects one
 // global simulation cap.
 func (r *Runner) fork() *Runner {
-	return &Runner{
-		Base:    r.Base,
-		workers: r.workers,
-		sem:     r.sem,
-		disk:    r.disk, // keys carry the full config, so sharing is safe
-		cache:   make(map[truthKey]*truthEntry),
-		runs:    make(map[runKey]*runEntry),
+	nr := *r
+	nr.memo = &memo{
+		truth: make(map[truthKey]*entry),
+		runs:  make(map[runKey]*entry),
 	}
+	return &nr
 }
 
-// gate blocks until a pool slot is free and returns the release func:
-//
-//	defer r.gate()()
-//
+// gate blocks until a pool slot is free and returns the release func, or
+// gives up with ctx's error when the context is cancelled while queued.
 // Only the leaf helpers that actually execute a simulation acquire a slot;
 // experiment-level fan-out goroutines block in singleflight waits without
 // holding one, so nesting FanOut/Prewarm cannot deadlock the pool.
-func (r *Runner) gate() func() {
+func (r *Runner) gate(ctx context.Context) (func(), error) {
 	if r.sem == nil {
-		return func() {}
+		return func() {}, nil
 	}
-	r.sem <- struct{}{}
-	return func() { <-r.sem }
+	select {
+	case r.sem <- struct{}{}:
+		return func() { <-r.sem }, nil
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
 }
 
 // truthEntryFor returns the singleflight slot for key, creating it if
 // needed.
-func (r *Runner) truthEntryFor(key truthKey) *truthEntry {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	if r.cache == nil {
-		r.cache = make(map[truthKey]*truthEntry)
-	}
-	e, ok := r.cache[key]
+func (r *Runner) truthEntryFor(key truthKey) *entry {
+	m := r.memo
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	e, ok := m.truth[key]
 	if !ok {
-		e = &truthEntry{}
-		r.cache[key] = e
+		e = &entry{}
+		m.truth[key] = e
 	}
 	return e
 }
 
-func (r *Runner) runEntryFor(key runKey) *runEntry {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	if r.runs == nil {
-		r.runs = make(map[runKey]*runEntry)
-	}
-	e, ok := r.runs[key]
+func (r *Runner) runEntryFor(key runKey) *entry {
+	m := r.memo
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	e, ok := m.runs[key]
 	if !ok {
-		e = &runEntry{}
-		r.runs[key] = e
+		e = &entry{}
+		m.runs[key] = e
 	}
 	return e
+}
+
+// simulate executes one machine under ctx, counting it against the
+// Runner's simulation tally. Cancellation returns ctx's error; any other
+// simulator failure panics (it indicates a bug, never a caller mistake).
+func (r *Runner) simulate(ctx context.Context, cfg sim.Config, setup func(*sim.Machine), w sim.Workload) (*sim.Result, error) {
+	r.sims.Add(1)
+	m := sim.New(cfg)
+	if setup != nil {
+		setup(m)
+	}
+	out, err := m.RunContext(ctx, w)
+	if err != nil {
+		if cerr := ctx.Err(); cerr != nil {
+			return nil, cerr
+		}
+		panic(fmt.Sprintf("experiments: %s@%v: %v", w.Name(), cfg.Freq, err))
+	}
+	return &out, nil
 }
 
 // Truth returns the measured run of spec at frequency f. The run is
-// memoised and deduplicated: concurrent callers share one execution.
+// memoised and deduplicated: concurrent callers share one execution. When
+// the Runner is bound to a cancelled context the call unwinds with the
+// cancellation panic (see Cancelable).
 func (r *Runner) Truth(spec dacapo.Spec, f units.Freq) *sim.Result {
+	res, err := r.TruthCtx(r.context(), spec, f)
+	if err != nil {
+		panic(canceled{err})
+	}
+	return res
+}
+
+// TruthCtx is Truth with an explicit context and error return: the
+// error-based entry point servers use for deadline propagation. A non-nil
+// error is always ctx's error; the in-flight simulation it abandons (or
+// aborts, if this caller was the flight leader) is retried by the next
+// caller.
+func (r *Runner) TruthCtx(ctx context.Context, spec dacapo.Spec, f units.Freq) (*sim.Result, error) {
 	e := r.truthEntryFor(truthKey{bench: spec.Name, freq: f})
-	e.once.Do(func() {
+	res, _, err := e.do(ctx, func(ctx context.Context) (*sim.Result, any, error) {
+		if err := ctx.Err(); err != nil {
+			return nil, nil, err
+		}
 		cfg := r.Base
 		cfg.Freq = f
 		spec.Configure(&cfg)
 		key, ok := r.diskKey("truth", cfg, spec)
 		if res := r.diskGet(key, ok); res != nil {
-			e.res = res
-			return
+			return res, nil, nil
 		}
-		defer r.gate()()
-		m := sim.New(cfg)
-		out, err := m.Run(dacapo.New(spec))
+		release, err := r.gate(ctx)
 		if err != nil {
-			panic(fmt.Sprintf("experiments: truth run %s@%v: %v", spec.Name, f, err))
+			return nil, nil, err
 		}
-		e.res = &out
-		r.diskPut(key, ok, &out)
+		defer release()
+		res, err := r.simulate(ctx, cfg, nil, dacapo.New(spec))
+		if err != nil {
+			return nil, nil, err
+		}
+		r.diskPut(key, ok, res)
+		return res, nil, nil
 	})
-	return e.res
+	return res, err
+}
+
+// runDo resolves a governed-run memo slot under the Runner's binding
+// context, converting cancellation into the unwind panic. exec's manager
+// return is memoised alongside the result (nil on disk hits).
+func (r *Runner) runDo(key runKey, exec execFn) (*sim.Result, any) {
+	e := r.runEntryFor(key)
+	res, mgr, err := e.do(r.context(), exec)
+	if err != nil {
+		panic(canceled{err})
+	}
+	return res, mgr
 }
 
 // FanOut runs the closures concurrently and waits for all of them. The

@@ -4,7 +4,6 @@ import (
 	"fmt"
 
 	"depburst/internal/core"
-	"depburst/internal/dacapo"
 	"depburst/internal/report"
 	"depburst/internal/units"
 )
@@ -32,7 +31,7 @@ func (r *Runner) SeedSensitivity(seeds []uint64) *report.Table {
 		rn := r.fork()
 		rn.Base.Seed = seed
 		runners[i] = rn
-		warm = append(warm, func() { rn.Prewarm(dacapo.Suite(), 1000, 4000) })
+		warm = append(warm, func() { rn.Prewarm(r.Suite(), 1000, 4000) })
 	}
 	r.FanOut(warm...)
 
@@ -42,7 +41,7 @@ func (r *Runner) SeedSensitivity(seeds []uint64) *report.Table {
 		for _, d := range dirs {
 			for _, m := range models {
 				var errs []float64
-				for _, spec := range dacapo.Suite() {
+				for _, spec := range r.Suite() {
 					errs = append(errs, rn.PredictionError(spec, m, d.base, d.target))
 				}
 				row = append(row, report.PctAbs(report.MeanAbs(errs)))

@@ -1,7 +1,7 @@
 package experiments
 
 import (
-	"fmt"
+	"context"
 
 	"depburst/internal/core"
 	"depburst/internal/cpu"
@@ -111,16 +111,25 @@ func (r *Runner) SequentialBackground() *report.Table {
 // alongside benchmark runs).
 func (r *Runner) seqTruth(w seqWorkload, f units.Freq) *sim.Result {
 	e := r.truthEntryFor(truthKey{bench: "seq/" + w.name, freq: f})
-	e.once.Do(func() {
-		defer r.gate()()
+	res, _, err := e.do(r.context(), func(ctx context.Context) (*sim.Result, any, error) {
+		if err := ctx.Err(); err != nil {
+			return nil, nil, err
+		}
 		cfg := r.Base
 		cfg.Freq = f
-		m := sim.New(cfg)
-		out, err := m.Run(w)
+		release, err := r.gate(ctx)
 		if err != nil {
-			panic(fmt.Sprintf("experiments: sequential run %s@%v: %v", w.name, f, err))
+			return nil, nil, err
 		}
-		e.res = &out
+		defer release()
+		res, err := r.simulate(ctx, cfg, nil, w)
+		if err != nil {
+			return nil, nil, err
+		}
+		return res, nil, nil
 	})
-	return e.res
+	if err != nil {
+		panic(canceled{err})
+	}
+	return res
 }

@@ -2,7 +2,6 @@ package experiments
 
 import (
 	"depburst/internal/core"
-	"depburst/internal/dacapo"
 	"depburst/internal/jvm"
 	"depburst/internal/report"
 )
@@ -16,8 +15,8 @@ func (r *Runner) GCPolicyAblation() *report.Table {
 	semi.Base.JVM.Policy = jvm.FullHeapSemispace
 
 	r.FanOut(
-		func() { r.Prewarm(dacapo.Suite(), 1000, 4000) },
-		func() { semi.Prewarm(dacapo.Suite(), 1000, 4000) })
+		func() { r.Prewarm(r.Suite(), 1000, 4000) },
+		func() { semi.Prewarm(r.Suite(), 1000, 4000) })
 
 	t := &report.Table{
 		Title: "Ablation: GC policy (generational vs full-heap semispace)",
@@ -25,7 +24,7 @@ func (r *Runner) GCPolicyAblation() *report.Table {
 			"gen gc%", "semi gc%", "gen DEP+BURST 1->4", "semi DEP+BURST 1->4"},
 	}
 	m := core.NewDEPBurst()
-	for _, spec := range dacapo.Suite() {
+	for _, spec := range r.Suite() {
 		if !spec.Memory {
 			continue // the contrast only matters where GC matters
 		}
@@ -52,8 +51,8 @@ func (r *Runner) PrefetchAblation() *report.Table {
 	pf.Base.Hier.NextLinePrefetch = true
 
 	r.FanOut(
-		func() { r.Prewarm(dacapo.Suite(), 1000, 4000) },
-		func() { pf.Prewarm(dacapo.Suite(), 1000, 4000) })
+		func() { r.Prewarm(r.Suite(), 1000, 4000) },
+		func() { pf.Prewarm(r.Suite(), 1000, 4000) })
 
 	t := &report.Table{
 		Title: "Ablation: L2 next-line prefetcher",
@@ -61,7 +60,7 @@ func (r *Runner) PrefetchAblation() *report.Table {
 			"time off", "time on", "speedup", "DEP+BURST 1->4 off", "on"},
 	}
 	m := core.NewDEPBurst()
-	for _, spec := range dacapo.Suite() {
+	for _, spec := range r.Suite() {
 		off := r.Truth(spec, 1000)
 		on := pf.Truth(spec, 1000)
 		speed := float64(off.Time)/float64(on.Time) - 1

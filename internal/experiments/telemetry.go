@@ -20,7 +20,11 @@ import (
 // and the DEP+BURST energy manager governs DVFS at the given slowdown
 // threshold (f is ignored); otherwise the run holds f throughout.
 func (r *Runner) InstrumentedRun(spec dacapo.Spec, f units.Freq, managed bool, threshold float64) (*sim.Result, *metrics.Registry) {
-	defer r.gate()()
+	release, err := r.gate(r.context())
+	if err != nil {
+		panic(canceled{err})
+	}
+	defer release()
 	cfg := r.Base
 	cfg.Freq = f
 	if managed {
@@ -91,7 +95,7 @@ func (r *Runner) ErrorBreakdown(spec dacapo.Spec, o core.Options, base, target u
 // (pipeline vs memory vs burst vs idle) and how far the prediction landed
 // from the measured truth.
 func (r *Runner) ErrorBreakdownTable(base, target units.Freq) *report.Table {
-	r.Prewarm(dacapo.Suite(), base, target)
+	r.Prewarm(r.Suite(), base, target)
 
 	t := &report.Table{
 		Title: fmt.Sprintf("Prediction-error breakdown: DEP+BURST, %v -> %v", base, target),
@@ -99,7 +103,7 @@ func (r *Runner) ErrorBreakdownTable(base, target units.Freq) *report.Table {
 			"pipeline", "memory", "burst", "idle"},
 	}
 	o := core.Options{Burst: true}
-	for _, spec := range dacapo.Suite() {
+	for _, spec := range r.Suite() {
 		reg := metrics.NewRegistry()
 		r.ErrorBreakdown(spec, o, base, target, reg)
 		s := reg.Summary()

@@ -50,6 +50,10 @@ type Kernel struct {
 	// onPark hooks fire after any thread goes to sleep; each JVM
 	// instance uses one to detect that its world has stopped.
 	onPark []func(now units.Time)
+
+	// abortErr, once set by Abort, makes Run stop before its next event,
+	// kill the remaining threads and return the error.
+	abortErr error
 }
 
 // New builds a kernel over the given cores and event engine.
@@ -383,6 +387,10 @@ func (k *Kernel) AppEndTime() units.Time { return k.appEnd }
 // alive when all application threads have exited are forcibly killed.
 func (k *Kernel) Run() (units.Time, error) {
 	for {
+		if k.abortErr != nil {
+			k.Shutdown()
+			return k.eng.Now(), fmt.Errorf("kernel: aborted: %w", k.abortErr)
+		}
 		if !k.eng.Step() {
 			break
 		}
@@ -401,6 +409,20 @@ func (k *Kernel) Run() (units.Time, error) {
 	}
 	k.Shutdown()
 	return k.eng.Now(), nil
+}
+
+// Abort makes Run stop before dispatching its next event, forcibly
+// terminate every remaining thread (so no goroutine leaks) and return err.
+// Call it from inside an event callback — e.g. the machine's sampling
+// quantum — to cancel a simulation mid-flight; the partial state is not
+// meaningful afterwards.
+func (k *Kernel) Abort(err error) {
+	if err == nil {
+		err = fmt.Errorf("abort")
+	}
+	if k.abortErr == nil {
+		k.abortErr = err
+	}
 }
 
 // Shutdown forcibly terminates remaining (daemon) threads so their

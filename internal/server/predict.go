@@ -1,0 +1,339 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+
+	"depburst/internal/core"
+	"depburst/internal/dacapo"
+	"depburst/internal/experiments"
+	"depburst/internal/report"
+	"depburst/internal/units"
+)
+
+// Request-shape bounds: enough for a full DVFS sweep across every model,
+// small enough that one request cannot demand unbounded work.
+const (
+	maxTargets = 64
+	maxModels  = 8
+)
+
+// PredictRequest is the POST /v1/predict body. Exactly one of Bench (a
+// stock-suite name) or Spec (a full benchmark definition, see
+// `depburst suite`) selects the workload.
+type PredictRequest struct {
+	Bench      string       `json:"bench,omitempty"`
+	Spec       *dacapo.Spec `json:"spec,omitempty"`
+	BaseMHz    int64        `json:"base_mhz,omitempty"` // default 1000
+	TargetsMHz []int64      `json:"targets_mhz"`        // required, ascending output order
+	Models     []string     `json:"models,omitempty"`   // default ["dep+burst"]
+	Actual     bool         `json:"actual,omitempty"`   // also simulate each target for rel_error
+}
+
+// PredictResponse is the POST /v1/predict result. Field names are frozen
+// per the /v1 schema policy (DESIGN.md).
+type PredictResponse struct {
+	Bench       string       `json:"bench"`
+	BaseMHz     int64        `json:"base_mhz"`
+	BaseTimePS  int64        `json:"base_time_ps"`
+	Predictions []Prediction `json:"predictions"`
+}
+
+// Prediction is one (model, target) cell.
+type Prediction struct {
+	Model       string   `json:"model"`
+	TargetMHz   int64    `json:"target_mhz"`
+	PredictedPS int64    `json:"predicted_ps"`
+	ActualPS    int64    `json:"actual_ps,omitempty"`
+	RelError    *float64 `json:"rel_error,omitempty"`
+}
+
+// modelNames maps the wire names onto predictor constructors, in the
+// canonical (paper) order used when a request asks for several.
+var modelNames = []string{"mcrit", "mcrit+burst", "coop", "coop+burst", "dep", "dep+burst"}
+
+func modelFor(name string) (core.Model, bool) {
+	switch name {
+	case "mcrit":
+		return core.NewMCrit(core.Options{}), true
+	case "mcrit+burst":
+		return core.NewMCrit(core.Options{Burst: true}), true
+	case "coop":
+		return core.NewCOOP(core.Options{}), true
+	case "coop+burst":
+		return core.NewCOOP(core.Options{Burst: true}), true
+	case "dep":
+		return core.NewDEP(core.Options{}), true
+	case "dep+burst":
+		return core.NewDEP(core.Options{Burst: true}), true
+	}
+	return nil, false
+}
+
+// DecodePredictRequest reads, strictly parses and validates one predict
+// request from r: unknown fields, trailing data and out-of-range parameters
+// are errors, and the body is capped at limit bytes. The returned request is
+// normalised (defaults applied, targets sorted and deduplicated), so equal
+// workloads decode to equal values — the property the request coalescer
+// keys on. This is also the fuzzing entry point.
+func DecodePredictRequest(r io.Reader, limit int64) (*PredictRequest, error) {
+	if limit > 0 {
+		r = io.LimitReader(r, limit+1)
+	}
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	var req PredictRequest
+	if err := dec.Decode(&req); err != nil {
+		return nil, fmt.Errorf("parse request: %w", err)
+	}
+	// A second value (or garbage) after the document is an error; EOF is
+	// the only acceptable outcome.
+	if err := dec.Decode(new(json.RawMessage)); err != io.EOF {
+		return nil, fmt.Errorf("trailing data after request body")
+	}
+
+	switch {
+	case req.Bench == "" && req.Spec == nil:
+		return nil, fmt.Errorf("one of bench or spec is required")
+	case req.Bench != "" && req.Spec != nil:
+		return nil, fmt.Errorf("bench and spec are mutually exclusive")
+	}
+	if req.Spec != nil {
+		if err := req.Spec.Validate(); err != nil {
+			return nil, fmt.Errorf("spec: %w", err)
+		}
+	}
+	if req.BaseMHz == 0 {
+		req.BaseMHz = 1000
+	}
+	if req.BaseMHz < 100 || req.BaseMHz > 20_000 {
+		return nil, fmt.Errorf("base_mhz %d outside [100,20000]", req.BaseMHz)
+	}
+	if len(req.TargetsMHz) == 0 {
+		return nil, fmt.Errorf("targets_mhz is required")
+	}
+	if len(req.TargetsMHz) > maxTargets {
+		return nil, fmt.Errorf("%d targets exceeds the limit of %d", len(req.TargetsMHz), maxTargets)
+	}
+	for _, t := range req.TargetsMHz {
+		if t < 100 || t > 20_000 {
+			return nil, fmt.Errorf("target_mhz %d outside [100,20000]", t)
+		}
+	}
+	sort.Slice(req.TargetsMHz, func(i, j int) bool { return req.TargetsMHz[i] < req.TargetsMHz[j] })
+	req.TargetsMHz = dedupInt64(req.TargetsMHz)
+
+	if len(req.Models) == 0 {
+		req.Models = []string{"dep+burst"}
+	}
+	if len(req.Models) > maxModels {
+		return nil, fmt.Errorf("%d models exceeds the limit of %d", len(req.Models), maxModels)
+	}
+	seen := make(map[string]bool, len(req.Models))
+	norm := req.Models[:0]
+	for _, m := range req.Models {
+		if _, ok := modelFor(m); !ok {
+			return nil, fmt.Errorf("unknown model %q (have %v)", m, modelNames)
+		}
+		if !seen[m] {
+			seen[m] = true
+			norm = append(norm, m)
+		}
+	}
+	req.Models = norm
+	return &req, nil
+}
+
+func dedupInt64(xs []int64) []int64 {
+	out := xs[:0]
+	for i, x := range xs {
+		if i == 0 || x != xs[i-1] {
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
+// key returns the canonical coalescing key: the normalised request's JSON.
+// Two requests for identical work always produce identical keys, because
+// DecodePredictRequest normalises ordering and defaults.
+func (req *PredictRequest) key() string {
+	b, err := json.Marshal(req)
+	if err != nil {
+		// A decoded request always re-marshals; this is unreachable.
+		panic(err)
+	}
+	return string(b)
+}
+
+// flight is one in-progress predict computation other identical requests
+// join. A failed flight is cleared so the next arrival retries, mirroring
+// the Runner's singleflight semantics.
+type flight struct {
+	done chan struct{}
+	body []byte
+	err  error
+}
+
+// handlePredict serves POST /v1/predict: strict decode, coalesce with
+// identical in-flight work, backpressure on the worker queue, then compute
+// under the request deadline.
+func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
+	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBody)
+	req, err := DecodePredictRequest(body, 0)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	spec, err := s.resolveSpec(req)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	ctx := r.Context()
+	key := req.key()
+
+	for {
+		s.flights.Lock()
+		f := s.flights.m[key]
+		if f == nil {
+			f = &flight{done: make(chan struct{})}
+			s.flights.m[key] = f
+			s.flights.Unlock()
+			s.leadPredict(ctx, key, f, req, spec)
+		} else {
+			s.flights.Unlock()
+			s.cfg.Metrics.IncCoalesced()
+			select {
+			case <-f.done:
+			case <-ctx.Done():
+				writeCtxError(w, ctx.Err())
+				return
+			}
+		}
+		switch {
+		case f.err == nil:
+			w.Header().Set("Content-Type", "application/json")
+			w.Write(f.body)
+			return
+		case errors.Is(f.err, errSaturated):
+			w.Header().Set("Retry-After", "1")
+			s.cfg.Metrics.IncRejected()
+			writeError(w, http.StatusTooManyRequests, "prediction queue full")
+			return
+		case errors.Is(f.err, context.Canceled) || errors.Is(f.err, context.DeadlineExceeded):
+			if ctx.Err() != nil {
+				// This caller's own deadline/disconnect.
+				writeCtxError(w, ctx.Err())
+				return
+			}
+			// The flight's leader was cancelled but this caller is still
+			// live: take over as the new leader.
+			continue
+		default:
+			writeError(w, http.StatusInternalServerError, "%v", f.err)
+			return
+		}
+	}
+}
+
+// errSaturated marks a flight refused by the backpressure gate.
+var errSaturated = fmt.Errorf("server: saturated")
+
+// leadPredict executes the flight: acquire a worker slot (or refuse when the
+// queue is full), compute, publish, and clear the flight. The flight map
+// never keeps completed entries — memoisation lives in the Runner and the
+// disk cache; the map exists only to merge concurrent identical work.
+func (s *Server) leadPredict(ctx context.Context, key string, f *flight, req *PredictRequest, spec dacapo.Spec) {
+	defer func() {
+		s.flights.Lock()
+		delete(s.flights.m, key)
+		s.flights.Unlock()
+		close(f.done)
+	}()
+	if s.waiting.Load() >= int64(s.cfg.MaxQueue) {
+		f.err = errSaturated
+		return
+	}
+	s.waiting.Add(1)
+	select {
+	case s.sem <- struct{}{}:
+		s.waiting.Add(-1)
+		defer func() { <-s.sem }()
+	case <-ctx.Done():
+		s.waiting.Add(-1)
+		f.err = ctx.Err()
+		return
+	}
+	f.body, f.err = s.computePredict(ctx, req, spec)
+}
+
+// computePredict runs the base (and, with actual set, target) simulations
+// through the Runner — memoised, singleflight-deduplicated, disk-cached —
+// and assembles the response. The response bytes are a pure function of the
+// request, so cold and warm paths are byte-identical.
+func (s *Server) computePredict(ctx context.Context, req *PredictRequest, spec dacapo.Spec) ([]byte, error) {
+	r := s.cfg.Runner
+	base, err := r.TruthCtx(ctx, spec, units.Freq(req.BaseMHz))
+	if err != nil {
+		return nil, err
+	}
+	obs := experiments.Observe(base)
+
+	resp := PredictResponse{
+		Bench:      spec.Name,
+		BaseMHz:    req.BaseMHz,
+		BaseTimePS: int64(base.Time),
+	}
+	for _, name := range req.Models {
+		m, _ := modelFor(name)
+		for _, tgt := range req.TargetsMHz {
+			p := Prediction{
+				Model:       name,
+				TargetMHz:   tgt,
+				PredictedPS: int64(m.Predict(obs, units.Freq(tgt))),
+			}
+			if req.Actual {
+				truth, err := r.TruthCtx(ctx, spec, units.Freq(tgt))
+				if err != nil {
+					return nil, err
+				}
+				p.ActualPS = int64(truth.Time)
+				re := report.RelError(float64(p.PredictedPS), float64(p.ActualPS))
+				p.RelError = &re
+			}
+			resp.Predictions = append(resp.Predictions, p)
+		}
+	}
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(resp); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// resolveSpec maps the request's workload selector onto a benchmark spec:
+// a stock-suite (or server-suite) name, or the embedded definition.
+func (s *Server) resolveSpec(req *PredictRequest) (dacapo.Spec, error) {
+	if req.Spec != nil {
+		return *req.Spec, nil
+	}
+	for _, spec := range s.cfg.Runner.Suite() {
+		if spec.Name == req.Bench {
+			return spec, nil
+		}
+	}
+	spec, err := dacapo.ByName(req.Bench)
+	if err != nil {
+		return dacapo.Spec{}, fmt.Errorf("unknown benchmark %q", req.Bench)
+	}
+	return spec, nil
+}

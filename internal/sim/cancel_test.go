@@ -1,0 +1,93 @@
+package sim_test
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"testing"
+	"time"
+
+	"depburst/internal/dacapo"
+	"depburst/internal/sim"
+)
+
+// TestRunContextCancelledBeforeStart: an already-cancelled context aborts the
+// run on the first sampling quantum and reports the context's error.
+func TestRunContextCancelledBeforeStart(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	cfg := sim.DefaultConfig()
+	spec, err := dacapo.ByName("pmd.scale")
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec.Configure(&cfg)
+	m := sim.New(cfg)
+	if _, err := m.RunContext(ctx, dacapo.New(spec)); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+// TestRunContextCancelMidRun: cancelling while the simulation is running
+// aborts it promptly (well under the full run's wall time) and leaves no
+// thread goroutines behind.
+func TestRunContextCancelMidRun(t *testing.T) {
+	spec, err := dacapo.ByName("lusearch")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := sim.DefaultConfig()
+	spec.Configure(&cfg)
+
+	before := runtime.NumGoroutine()
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(5 * time.Millisecond)
+		cancel()
+	}()
+	m := sim.New(cfg)
+	start := time.Now()
+	_, rerr := m.RunContext(ctx, dacapo.New(spec))
+	elapsed := time.Since(start)
+	if !errors.Is(rerr, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", rerr)
+	}
+	if elapsed > 2*time.Second {
+		t.Fatalf("cancellation took %v; want prompt abort", elapsed)
+	}
+	// All kernel thread goroutines must have been shut down.
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= before+1 {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("goroutines leaked: before=%d after=%d", before, runtime.NumGoroutine())
+}
+
+// TestRunContextNilBehavesLikeRun: a background context must not perturb the
+// deterministic result.
+func TestRunContextNilBehavesLikeRun(t *testing.T) {
+	spec, err := dacapo.ByName("pmd.scale")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := sim.DefaultConfig()
+	spec.Configure(&cfg)
+
+	m1 := sim.New(cfg)
+	plain, err := m1.Run(dacapo.New(spec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2 := sim.New(cfg)
+	ctxed, err := m2.RunContext(context.Background(), dacapo.New(spec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.Time != ctxed.Time || plain.Energy != ctxed.Energy {
+		t.Fatalf("RunContext changed the result: %v/%v vs %v/%v",
+			plain.Time, plain.Energy, ctxed.Time, ctxed.Energy)
+	}
+}

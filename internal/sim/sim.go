@@ -6,6 +6,8 @@
 package sim
 
 import (
+	"context"
+
 	"depburst/internal/cpu"
 	"depburst/internal/event"
 	"depburst/internal/jvm"
@@ -173,6 +175,10 @@ type Machine struct {
 	lastReads     uint64
 	lastWrites    uint64
 	lastConflicts uint64
+
+	// ctx, when non-nil, is polled once per sampling quantum; its
+	// cancellation aborts the kernel's event loop and fails the run.
+	ctx context.Context
 }
 
 // maxIdleQuanta bounds how many consecutive quanta may pass with zero
@@ -288,6 +294,16 @@ func (m *Machine) chargeTransition(f units.Freq, cores int) {
 		m.cfg.TransitionLatency)
 }
 
+// RunContext executes the workload like Run but aborts the simulation
+// promptly — at the next sampling quantum — once ctx is cancelled, killing
+// every simulated thread (no goroutine leaks) and returning an error that
+// wraps ctx.Err(). The partial Result accompanying an error must be
+// discarded: it reflects an interrupted run.
+func (m *Machine) RunContext(ctx context.Context, w Workload) (Result, error) {
+	m.ctx = ctx
+	return m.Run(w)
+}
+
 // Run executes the workload to completion and returns the observations.
 func (m *Machine) Run(w Workload) (Result, error) {
 	w.Setup(m)
@@ -335,6 +351,12 @@ func (m *Machine) Run(w Workload) (Result, error) {
 
 // quantum is the self-rescheduling sampling event.
 func (m *Machine) quantum(now units.Time) {
+	if m.ctx != nil && m.ctx.Err() != nil {
+		// Cancellation: stop sampling and tear the kernel down instead
+		// of simulating the workload to completion.
+		m.Kern.Abort(m.ctx.Err())
+		return
+	}
 	s := m.sample(now)
 	if m.governor != nil {
 		if f := m.governor(m, s); f != m.freq && f > 0 {
