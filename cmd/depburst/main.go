@@ -138,6 +138,9 @@ commands:
   loadtest [-addr HOST:PORT] [-rps N] [-duration D] [-bench NAME]
            [-p99-ms MS] [-o FILE]
                     drive a running server and assert p99 + zero 5xx
+  lint [-json] [-fix-hints] [-analyzers LIST] [-C DIR] [packages]
+                    run the repo's static-analysis suite (determinism,
+                    hotpath, ctxflow, nilreg, goldenio); exits 1 on findings
 `)
 	os.Exit(2)
 }
@@ -307,6 +310,8 @@ global:
 		cmdServe(r, args)
 	case "loadtest":
 		cmdLoadtest(args)
+	case "lint":
+		cmdLint(args)
 	default:
 		usage()
 	}

@@ -1,0 +1,182 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// CtxFlow enforces deadline propagation: once a function receives a
+// context.Context, the context must flow through every downstream call that
+// can carry it. The serving path depends on this end to end — a request
+// deadline reaches the simulator's sampling loop only if no link in the
+// chain drops it (the class of bug fixed in sim.RunContext during the
+// serving PR, which this analyzer would have caught pre-review).
+//
+// Inside any function with a context.Context parameter it flags:
+//
+//   - context.Background() / context.TODO(): minting a fresh root detaches
+//     the callee from the caller's deadline and cancellation;
+//   - a nil literal passed as a context argument;
+//   - calling X when the same package or receiver offers XContext/XCtx
+//     accepting a context — the context-free variant silently drops ctx.
+//
+// The delegation idiom is exempt: XContext calling X on the same receiver
+// is the wrapper's implementation, not a dropped context. Intentional
+// detachment (a drain context that must outlive the request) is annotated
+// //depburst:allow ctxflow with its reason.
+var CtxFlow = &Analyzer{
+	Name: "ctxflow",
+	Doc:  "a function holding a context must pass it to every context-capable callee",
+	Run:  runCtxFlow,
+}
+
+// ctxSuffixes are the conventional names for the context-accepting variant
+// of a function.
+var ctxSuffixes = [...]string{"Context", "Ctx"}
+
+func runCtxFlow(p *Pass) {
+	for _, f := range p.Pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if !funcHasCtxParam(p.Pkg.Info, fd) {
+				continue
+			}
+			checkCtxFunc(p, fd)
+		}
+	}
+}
+
+// isContextType reports whether t is context.Context.
+func isContextType(t types.Type) bool {
+	n, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	return obj.Name() == "Context" && obj.Pkg() != nil && obj.Pkg().Path() == "context"
+}
+
+// funcHasCtxParam reports whether fd declares a context.Context parameter.
+func funcHasCtxParam(info *types.Info, fd *ast.FuncDecl) bool {
+	if fd.Type.Params == nil {
+		return false
+	}
+	for _, field := range fd.Type.Params.List {
+		if t := info.TypeOf(field.Type); t != nil && isContextType(t) {
+			return true
+		}
+	}
+	return false
+}
+
+func checkCtxFunc(p *Pass, fd *ast.FuncDecl) {
+	info := p.Pkg.Info
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			// A nested closure is its own scope; if it takes a ctx param it
+			// is vetted as part of this walk anyway, and if it captures the
+			// outer ctx the calls inside still resolve below.
+			return true
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := calleeOf(info, call)
+		if fn == nil {
+			return true
+		}
+		if isPkgFunc(fn, "context") && (fn.Name() == "Background" || fn.Name() == "TODO") {
+			p.Reportf(call.Pos(), "thread the function's ctx parameter through instead",
+				"context.%s detaches the call tree from the caller's deadline and cancellation", fn.Name())
+			return true
+		}
+		checkNilCtxArg(p, info, call, fn)
+		checkDroppedCtx(p, fd, call, fn)
+		return true
+	})
+}
+
+// checkNilCtxArg flags passing a nil literal where the callee expects a
+// context.
+func checkNilCtxArg(p *Pass, info *types.Info, call *ast.CallExpr, fn *types.Func) {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		if i >= params.Len() || !isContextType(params.At(i).Type()) {
+			continue
+		}
+		if id, ok := ast.Unparen(arg).(*ast.Ident); ok && id.Name == "nil" && info.Uses[id] == types.Universe.Lookup("nil") {
+			p.Reportf(arg.Pos(), "pass the function's ctx parameter",
+				"nil context passed to %s", funcDisplayName(fn))
+		}
+	}
+}
+
+// checkDroppedCtx flags calling X from a ctx-holding function when a
+// context-accepting sibling XContext/XCtx exists.
+func checkDroppedCtx(p *Pass, caller *ast.FuncDecl, call *ast.CallExpr, fn *types.Func) {
+	if acceptsContext(fn) {
+		return
+	}
+	for _, suffix := range ctxSuffixes {
+		if caller.Name.Name == fn.Name()+suffix {
+			return // the wrapper's own delegation to its context-free core
+		}
+	}
+	sibling := ctxSibling(fn)
+	if sibling == nil {
+		return
+	}
+	p.Reportf(call.Pos(), "call "+sibling.Name()+" with the function's ctx",
+		"call to %s drops ctx; %s accepts one", funcDisplayName(fn), sibling.Name())
+}
+
+// acceptsContext reports whether fn takes a context.Context parameter.
+func acceptsContext(fn *types.Func) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return false
+	}
+	params := sig.Params()
+	for i := 0; i < params.Len(); i++ {
+		if isContextType(params.At(i).Type()) {
+			return true
+		}
+	}
+	return false
+}
+
+// ctxSibling looks for the context-accepting variant of fn: a method on the
+// same receiver or a function in the same package named fn+Context/Ctx.
+func ctxSibling(fn *types.Func) *types.Func {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || fn.Pkg() == nil {
+		return nil
+	}
+	for _, suffix := range ctxSuffixes {
+		name := fn.Name() + suffix
+		// Trailing "Context" on an already-suffixed name never matches a
+		// real sibling; skip the obvious self case.
+		if strings.HasSuffix(fn.Name(), suffix) {
+			continue
+		}
+		var obj types.Object
+		if recv := sig.Recv(); recv != nil {
+			obj, _, _ = types.LookupFieldOrMethod(recv.Type(), true, fn.Pkg(), name)
+		} else {
+			obj = fn.Pkg().Scope().Lookup(name)
+		}
+		if sib, ok := obj.(*types.Func); ok && acceptsContext(sib) {
+			return sib
+		}
+	}
+	return nil
+}

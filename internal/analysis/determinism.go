@@ -1,0 +1,200 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strconv"
+	"strings"
+)
+
+// Determinism enforces the repo's reproducibility contract: every experiment
+// table, metrics document and server response must be a pure function of its
+// inputs, byte-identical across -j1/-j8 and cold/warm cache replays.
+//
+// It flags the three ways nondeterminism has historically leaked into such
+// outputs:
+//
+//   - wall-clock reads (time.Now / time.Since / time.Until);
+//   - the global math/rand generators (internal/rng's seeded, forkable
+//     Source is the only sanctioned randomness);
+//   - ranging over a map where the iteration order can reach an output.
+//
+// A map range is accepted when its body is provably order-insensitive:
+// commutative accumulation (x++, x += v), writes into another map, deletes,
+// or collecting keys into a slice that the same function later sorts. Wall
+// clock telemetry sites (serving latency, bench timing, cache LRU stamps)
+// carry //depburst:allow determinism annotations with their justification.
+var Determinism = &Analyzer{
+	Name: "determinism",
+	Doc:  "forbid wall-clock, global math/rand and unsorted map iteration in output-feeding code",
+	Run:  runDeterminism,
+}
+
+func runDeterminism(p *Pass) {
+	for _, f := range p.Pkg.Files {
+		for _, imp := range f.Imports {
+			path, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				continue
+			}
+			if path == "math/rand" || path == "math/rand/v2" {
+				p.Reportf(imp.Pos(), "draw from a seeded internal/rng.Source instead",
+					"import of %s: global randomness breaks replay determinism", path)
+			}
+		}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkDeterminismFunc(p, fd)
+		}
+	}
+}
+
+func checkDeterminismFunc(p *Pass, fd *ast.FuncDecl) {
+	info := p.Pkg.Info
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if obj := calleeOf(info, n); obj != nil && isPkgFunc(obj, "time") {
+				switch obj.Name() {
+				case "Now", "Since", "Until":
+					p.Reportf(n.Pos(), "derive times from the simulated clock or the run config",
+						"time.%s reads the wall clock; output depending on it cannot replay byte-identically", obj.Name())
+				}
+			}
+		case *ast.RangeStmt:
+			t := info.TypeOf(n.X)
+			if t == nil {
+				return true
+			}
+			if _, ok := t.Underlying().(*types.Map); ok {
+				checkMapRange(p, fd, n)
+			}
+		}
+		return true
+	})
+}
+
+// checkMapRange vets one range-over-map for order sensitivity.
+func checkMapRange(p *Pass, fd *ast.FuncDecl, rng *ast.RangeStmt) {
+	info := p.Pkg.Info
+	// collected tracks slices the body appends to; each must be sorted
+	// later in the function for the iteration to be order-insensitive.
+	var collected []string
+	for _, stmt := range rng.Body.List {
+		switch s := stmt.(type) {
+		case *ast.IncDecStmt:
+			// x++ / x-- accumulate commutatively.
+		case *ast.AssignStmt:
+			if key, ok := appendTarget(info, s); ok {
+				collected = append(collected, key)
+				continue
+			}
+			if !commutativeAssign(info, s) {
+				p.Reportf(rng.Pos(), "iterate a sorted key slice instead (collect keys, sort, then index)",
+					"map iteration order is nondeterministic and this body is order-sensitive")
+				return
+			}
+		case *ast.ExprStmt:
+			call, ok := s.X.(*ast.CallExpr)
+			if !ok || !isBuiltin(info, call, "delete") {
+				p.Reportf(rng.Pos(), "iterate a sorted key slice instead (collect keys, sort, then index)",
+					"map iteration order is nondeterministic and this body is order-sensitive")
+				return
+			}
+		default:
+			p.Reportf(rng.Pos(), "iterate a sorted key slice instead (collect keys, sort, then index)",
+				"map iteration order is nondeterministic and this body is order-sensitive")
+			return
+		}
+	}
+	for _, key := range collected {
+		if !sortedAfter(info, fd, rng, key) {
+			p.Reportf(rng.Pos(), "sort the collected keys (sort.Strings/sort.Slice) before they feed an output",
+				"map keys collected into %q are never sorted; downstream output inherits map order", key)
+		}
+	}
+}
+
+// appendTarget matches the self-append `x = append(x, ...)` — including the
+// struct-field form `e.free = append(e.free, it)` — and returns x's
+// structural key (see exprKey).
+func appendTarget(info *types.Info, s *ast.AssignStmt) (string, bool) {
+	if len(s.Lhs) != 1 || len(s.Rhs) != 1 {
+		return "", false
+	}
+	call, ok := s.Rhs[0].(*ast.CallExpr)
+	if !ok || !isBuiltin(info, call, "append") || len(call.Args) == 0 {
+		return "", false
+	}
+	key := exprKey(s.Lhs[0])
+	if key == "" || key != exprKey(call.Args[0]) {
+		return "", false
+	}
+	return key, true
+}
+
+// commutativeAssign reports whether an assignment inside a map range is
+// order-insensitive: writes into map elements (m[k] = v, m[k] += v) or
+// compound accumulation into plain variables (sum += v, bits |= v).
+func commutativeAssign(info *types.Info, s *ast.AssignStmt) bool {
+	for _, lhs := range s.Lhs {
+		switch l := lhs.(type) {
+		case *ast.IndexExpr:
+			t := info.TypeOf(l.X)
+			if t == nil {
+				return false
+			}
+			if _, ok := t.Underlying().(*types.Map); !ok {
+				return false
+			}
+		case *ast.Ident:
+			// Plain variables only accumulate commutatively through
+			// compound assignment (+=, |=, ^=, &=, *=); x = v overwrites
+			// and keeps whichever key iterated last.
+			switch s.Tok.String() {
+			case "+=", "|=", "^=", "&=", "*=":
+			default:
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// sortedAfter reports whether the keyed slice is passed to a sort call after
+// rng within fd's body.
+func sortedAfter(info *types.Info, fd *ast.FuncDecl, rng *ast.RangeStmt, key string) bool {
+	found := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < rng.End() || len(call.Args) == 0 {
+			return true
+		}
+		fn := calleeOf(info, call)
+		if fn == nil || !isSortFunc(fn) {
+			return true
+		}
+		if exprKey(call.Args[0]) == key {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// isSortFunc recognises the stdlib sorters: package sort and package slices.
+func isSortFunc(fn *types.Func) bool {
+	if isPkgFunc(fn, "sort") {
+		return true
+	}
+	return isPkgFunc(fn, "slices") && strings.HasPrefix(fn.Name(), "Sort")
+}

@@ -1,0 +1,223 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// HotPath proves the simulator's per-event code allocation-free at lint
+// time, complementing the AllocsPerRun walls (which probe one input) with a
+// whole-class static check.
+//
+// A function marked //depburst:hotpath is a root. The analyzer walks the
+// root and every statically-resolved callee inside the module (methods on
+// concrete receivers, package functions), and flags the allocation sources
+// the repo has actually been bitten by:
+//
+//   - any call into fmt (formats, boxes and allocates);
+//   - make/new and escaping composite literals (&T{}, slice/map literals);
+//   - interface boxing: passing a non-pointer-shaped concrete value where a
+//     parameter is an interface;
+//   - closures that outlive the call (assigned or passed — a deferred or
+//     immediately-invoked func literal stays on the stack);
+//   - go statements (a goroutine is an allocation and a scheduling hazard);
+//   - string concatenation and string<->[]byte conversions;
+//   - append, except the steady-state reuse idiom `x = append(x, elem)`
+//     (free lists and fixed-capacity heaps grow once, then recycle).
+//
+// Dynamic calls (func values, un-devirtualised interface methods) are
+// outside the static closure; the AllocsPerRun guards remain the backstop
+// for those.
+var HotPath = &Analyzer{
+	Name: "hotpath",
+	Doc:  "forbid allocation in //depburst:hotpath functions and their static callees",
+	Run:  runHotPath,
+}
+
+func runHotPath(p *Pass) {
+	visited := make(map[*types.Func]bool)
+	for _, root := range p.Pkg.Hot {
+		rootFn, _ := p.Pkg.Info.Defs[root.Name].(*types.Func)
+		if rootFn == nil {
+			continue
+		}
+		checkHotFunc(p, p.Pkg, root, rootFn, funcDisplayName(rootFn), visited)
+	}
+}
+
+// checkHotFunc inspects one function body reached from a hot root and
+// recurses into its module callees. visited spans the package pass, so a
+// shared callee is analyzed once; callees that are hot roots themselves are
+// covered by their own package's pass.
+func checkHotFunc(p *Pass, pkg *Package, fd *ast.FuncDecl, fn *types.Func, root string, visited map[*types.Func]bool) {
+	if visited[fn] || fd.Body == nil {
+		return
+	}
+	visited[fn] = true
+	info := pkg.Info
+	where := funcDisplayName(fn)
+	report := func(n ast.Node, hint, what string) {
+		p.Reportf(n.Pos(), hint, "%s in %s (hot via %s)", what, where, root)
+	}
+
+	// handled marks nodes cleared by an enclosing construct: append calls
+	// matched by the reuse idiom, func literals that are deferred or
+	// invoked in place.
+	handled := make(map[ast.Node]bool)
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.GoStmt:
+			report(n, "hot paths are single-threaded; schedule through the event engine",
+				"go statement spawns a goroutine")
+		case *ast.DeferStmt:
+			if fl, ok := n.Call.Fun.(*ast.FuncLit); ok {
+				handled[fl] = true // open-coded defer, stack-allocated
+			}
+		case *ast.AssignStmt:
+			if _, ok := appendTarget(info, n); ok {
+				if call, ok := n.Rhs[0].(*ast.CallExpr); ok && len(call.Args) == 2 && !call.Ellipsis.IsValid() {
+					handled[call] = true // x = append(x, one): amortised reuse
+				}
+			}
+		case *ast.FuncLit:
+			if !handled[n] {
+				report(n, "hoist the closure out of the hot path or restructure to a method value",
+					"closure capture allocates")
+			}
+			handled[n] = true // don't descend re-reporting inner nodes twice
+		case *ast.UnaryExpr:
+			if cl, ok := n.X.(*ast.CompositeLit); ok && n.Op.String() == "&" {
+				report(n, "pool the object (free list) or reuse a struct field",
+					"&composite literal escapes to the heap")
+				handled[cl] = true
+			}
+		case *ast.CompositeLit:
+			if handled[n] {
+				break
+			}
+			if t := info.TypeOf(n); t != nil {
+				switch t.Underlying().(type) {
+				case *types.Slice, *types.Map:
+					report(n, "preallocate the backing storage outside the hot loop",
+						"slice/map literal allocates")
+				}
+			}
+		case *ast.BinaryExpr:
+			if n.Op.String() == "+" {
+				if t := info.TypeOf(n); t != nil && types.AssignableTo(t, types.Typ[types.String]) {
+					if b, ok := t.Underlying().(*types.Basic); ok && b.Info()&types.IsString != 0 {
+						report(n, "format off the hot path, or write into a reused []byte",
+							"string concatenation allocates")
+					}
+				}
+			}
+		case *ast.CallExpr:
+			checkHotCall(p, pkg, n, report, handled, root, visited)
+		}
+		return true
+	})
+}
+
+func checkHotCall(p *Pass, pkg *Package, call *ast.CallExpr, report func(ast.Node, string, string), handled map[ast.Node]bool, root string, visited map[*types.Func]bool) {
+	info := pkg.Info
+	if fl, ok := ast.Unparen(call.Fun).(*ast.FuncLit); ok {
+		handled[fl] = true // immediately invoked, stays on the stack
+		return
+	}
+	if target, ok := isConversion(info, call); ok {
+		checkHotConversion(info, call, target, report)
+		return
+	}
+	switch {
+	case isBuiltin(info, call, "make"):
+		report(call, "allocate once at construction and reuse", "make allocates")
+		return
+	case isBuiltin(info, call, "new"):
+		report(call, "allocate once at construction and reuse", "new allocates")
+		return
+	case isBuiltin(info, call, "append"):
+		if !handled[call] {
+			report(call, "use the self-append reuse idiom `x = append(x, elem)` or preallocate",
+				"append may grow and allocate")
+		}
+		return
+	}
+	fn := calleeOf(info, call)
+	if fn == nil {
+		return // dynamic call: outside the static closure
+	}
+	if isPkgFunc(fn, "fmt") {
+		report(call, "move formatting off the hot path", "fmt."+fn.Name()+" allocates")
+		return
+	}
+	checkBoxing(info, call, fn, report)
+	// Descend into module callees we have source for, unless the callee is
+	// itself a hot root (its own pass covers it).
+	cpkg, decl := p.L.FuncDecl(fn)
+	if decl == nil || hasDirective(decl.Doc, directiveHotPath) {
+		return
+	}
+	checkHotFunc(p, cpkg, decl, fn, root, visited)
+}
+
+// checkHotConversion flags converting between strings and byte/rune slices,
+// which copies through a fresh allocation.
+func checkHotConversion(info *types.Info, call *ast.CallExpr, target types.Type, report func(ast.Node, string, string)) {
+	if len(call.Args) != 1 {
+		return
+	}
+	src := info.TypeOf(call.Args[0])
+	if src == nil {
+		return
+	}
+	tIsString := isStringType(target)
+	sIsString := isStringType(src)
+	_, tIsSlice := target.Underlying().(*types.Slice)
+	_, sIsSlice := src.Underlying().(*types.Slice)
+	if (tIsString && sIsSlice) || (tIsSlice && sIsString) {
+		report(call, "keep one representation across the hot path",
+			"string <-> slice conversion copies and allocates")
+	}
+}
+
+func isStringType(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+// checkBoxing flags arguments boxed into interface parameters: the concrete
+// value escapes to the heap unless it is pointer-shaped.
+func checkBoxing(info *types.Info, call *ast.CallExpr, fn *types.Func, report func(ast.Node, string, string)) {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			if call.Ellipsis.IsValid() {
+				continue // forwarding a slice, no per-element boxing
+			}
+			pt = params.At(params.Len() - 1).Type().(*types.Slice).Elem()
+		case i < params.Len():
+			pt = params.At(i).Type()
+		default:
+			continue
+		}
+		if !types.IsInterface(pt) {
+			continue
+		}
+		at := info.TypeOf(arg)
+		if at == nil || types.IsInterface(at) || pointerShaped(at) {
+			continue
+		}
+		if b, ok := at.Underlying().(*types.Basic); ok && b.Kind() == types.UntypedNil {
+			continue
+		}
+		report(arg, "take a concrete parameter type, or pass a pointer",
+			"interface boxing of "+at.String()+" allocates")
+	}
+}

@@ -1,0 +1,318 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one loaded, parsed and type-checked package of the module under
+// analysis. Only module packages carry syntax; imports that leave the module
+// (the standard library) are type-checked through the toolchain's source
+// importer and expose types only.
+type Package struct {
+	// Path is the import path ("depburst/internal/cpu").
+	Path string
+	// Dir is the absolute directory the sources were read from.
+	Dir string
+	// Files holds the parsed non-test sources, in file-name order.
+	Files []*ast.File
+	// Types and Info are the go/types results for the package.
+	Types *types.Package
+	// Info carries the resolved uses/defs/selections for Files.
+	Info *types.Info
+	// Funcs maps every declared function or method to its syntax, so
+	// analyzers can descend from a call site into the callee's body.
+	Funcs map[*types.Func]*ast.FuncDecl
+	// Hot lists the declarations carrying a //depburst:hotpath directive.
+	Hot []*ast.FuncDecl
+}
+
+// Loader parses and type-checks the packages of one Go module using only the
+// standard library: module-internal imports resolve against the module tree,
+// everything else goes through go/importer's source importer. Loaded
+// packages are cached, so a whole-module load type-checks each package once.
+type Loader struct {
+	// Fset positions every parsed file; diagnostics resolve through it.
+	Fset *token.FileSet
+	// Root is the absolute module root (the directory holding go.mod).
+	Root string
+	// Module is the module path declared in go.mod.
+	Module string
+
+	std     types.ImporterFrom
+	pkgs    map[string]*Package
+	loading map[string]bool
+	// allow records //depburst:allow directives: file -> line -> analyzer
+	// names suppressed on that line.
+	allow map[string]map[int][]string
+}
+
+// NewLoader opens the module rooted at dir (the directory containing
+// go.mod).
+func NewLoader(dir string) (*Loader, error) {
+	root, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	mod, err := modulePath(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	l := &Loader{
+		Fset:    fset,
+		Root:    root,
+		Module:  mod,
+		pkgs:    make(map[string]*Package),
+		loading: make(map[string]bool),
+		allow:   make(map[string]map[int][]string),
+	}
+	l.std = importer.ForCompiler(fset, "source", nil).(types.ImporterFrom)
+	return l, nil
+}
+
+// modulePath extracts the module declaration from a go.mod file.
+func modulePath(gomod string) (string, error) {
+	data, err := os.ReadFile(gomod)
+	if err != nil {
+		return "", fmt.Errorf("analysis: %w (need a module root)", err)
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module "); ok {
+			return strings.TrimSpace(rest), nil
+		}
+	}
+	return "", fmt.Errorf("analysis: no module declaration in %s", gomod)
+}
+
+// Import implements types.Importer.
+func (l *Loader) Import(path string) (*types.Package, error) {
+	return l.ImportFrom(path, l.Root, 0)
+}
+
+// ImportFrom implements types.ImporterFrom: module paths load from the
+// module tree, everything else from the standard library source importer.
+func (l *Loader) ImportFrom(path, srcDir string, mode types.ImportMode) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if l.inModule(path) {
+		pkg, err := l.Load(path)
+		if err != nil {
+			return nil, err
+		}
+		return pkg.Types, nil
+	}
+	return l.std.ImportFrom(path, srcDir, mode)
+}
+
+// inModule reports whether an import path belongs to the loaded module.
+func (l *Loader) inModule(path string) bool {
+	return path == l.Module || strings.HasPrefix(path, l.Module+"/")
+}
+
+// dirFor maps a module import path to its source directory.
+func (l *Loader) dirFor(path string) string {
+	if path == l.Module {
+		return l.Root
+	}
+	return filepath.Join(l.Root, filepath.FromSlash(strings.TrimPrefix(path, l.Module+"/")))
+}
+
+// Load parses and type-checks one module package (cached). Test files are
+// excluded: the analyzers enforce invariants on shipped code.
+func (l *Loader) Load(path string) (*Package, error) {
+	if p, ok := l.pkgs[path]; ok {
+		return p, nil
+	}
+	if l.loading[path] {
+		return nil, fmt.Errorf("analysis: import cycle through %s", path)
+	}
+	l.loading[path] = true
+	defer delete(l.loading, path)
+
+	dir := l.dirFor(path)
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("analysis: %w", err)
+	}
+	var files []*ast.File
+	for _, e := range ents {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(l.Fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("analysis: %w", err)
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("analysis: no Go source in %s", dir)
+	}
+
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+	}
+	conf := types.Config{Importer: l}
+	tpkg, err := conf.Check(path, l.Fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("analysis: %w", err)
+	}
+
+	p := &Package{
+		Path:  path,
+		Dir:   dir,
+		Files: files,
+		Types: tpkg,
+		Info:  info,
+		Funcs: make(map[*types.Func]*ast.FuncDecl),
+	}
+	for _, f := range files {
+		l.recordAllows(f)
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			if fn, ok := info.Defs[fd.Name].(*types.Func); ok {
+				p.Funcs[fn] = fd
+			}
+			if hasDirective(fd.Doc, directiveHotPath) {
+				p.Hot = append(p.Hot, fd)
+			}
+		}
+	}
+	l.pkgs[path] = p
+	return p, nil
+}
+
+// Match resolves package patterns against the module tree and loads every
+// match. Supported patterns: "./...", "./dir/...", "./dir", and full import
+// paths; "testdata" and hidden directories never match.
+func (l *Loader) Match(patterns ...string) ([]*Package, error) {
+	seen := make(map[string]bool)
+	var paths []string
+	add := func(p string) {
+		if !seen[p] {
+			seen[p] = true
+			paths = append(paths, p)
+		}
+	}
+	for _, pat := range patterns {
+		pat = strings.TrimPrefix(filepath.ToSlash(pat), "./")
+		if l.inModule(pat) { // full import path
+			pat = strings.TrimPrefix(strings.TrimPrefix(pat, l.Module), "/")
+		}
+		rec := false
+		if rest, ok := strings.CutSuffix(pat, "..."); ok {
+			rec = true
+			pat = strings.TrimSuffix(rest, "/")
+		}
+		if !rec {
+			dir := filepath.Join(l.Root, filepath.FromSlash(pat))
+			if !hasGoSource(dir) {
+				return nil, fmt.Errorf("analysis: no Go package matches %q", pat)
+			}
+			add(l.pathFor(dir))
+			continue
+		}
+		n := 0
+		root := filepath.Join(l.Root, filepath.FromSlash(pat))
+		err := filepath.WalkDir(root, func(dir string, d os.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if !d.IsDir() {
+				return nil
+			}
+			if name := d.Name(); dir != root && (name == "testdata" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+				return filepath.SkipDir
+			}
+			if hasGoSource(dir) {
+				add(l.pathFor(dir))
+				n++
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		if n == 0 {
+			return nil, fmt.Errorf("analysis: no Go packages match %q", pat)
+		}
+	}
+	sort.Strings(paths)
+	pkgs := make([]*Package, 0, len(paths))
+	for _, p := range paths {
+		pkg, err := l.Load(p)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs, nil
+}
+
+// pathFor maps a directory under the module root to its import path.
+func (l *Loader) pathFor(dir string) string {
+	rel, err := filepath.Rel(l.Root, dir)
+	if err != nil || rel == "." {
+		return l.Module
+	}
+	return l.Module + "/" + filepath.ToSlash(rel)
+}
+
+// hasGoSource reports whether dir directly contains non-test Go files.
+func hasGoSource(dir string) bool {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return false
+	}
+	for _, e := range ents {
+		name := e.Name()
+		if !e.IsDir() && strings.HasSuffix(name, ".go") && !strings.HasSuffix(name, "_test.go") {
+			return true
+		}
+	}
+	return false
+}
+
+// Package returns an already-loaded module package, or nil.
+func (l *Loader) Package(path string) *Package { return l.pkgs[path] }
+
+// FuncDecl resolves a function object to its declaration, looking across
+// every loaded module package. It returns nil for stdlib functions,
+// interface methods and anything without a body.
+func (l *Loader) FuncDecl(fn *types.Func) (*Package, *ast.FuncDecl) {
+	if fn == nil || fn.Pkg() == nil {
+		return nil, nil
+	}
+	pkg := l.pkgs[fn.Pkg().Path()]
+	if pkg == nil {
+		return nil, nil
+	}
+	return pkg, pkg.Funcs[fn]
+}
+
+// rel makes a source path module-root-relative for diagnostics.
+func (l *Loader) rel(file string) string {
+	if r, err := filepath.Rel(l.Root, file); err == nil && !strings.HasPrefix(r, "..") {
+		return filepath.ToSlash(r)
+	}
+	return file
+}

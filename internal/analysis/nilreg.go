@@ -1,0 +1,397 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// NilReg enforces the observability layer's "nil registry is free"
+// contract: simulator code is threaded with *metrics.Registry /
+// *metrics.ServerRegistry handles and must run identically with metrics
+// disabled, so every registry method must be safe on a nil receiver.
+//
+// In the metrics package itself, every pointer-receiver method on
+// Registry/ServerRegistry must be nil-tolerant: it opens with an
+// `if r == nil { return }` guard, or every receiver use delegates to an
+// already-tolerant method (computed to a fixed point, so WriteJSON
+// delegating to the guarded Export needs no annotation), or it carries an
+// explicit //depburst:niltolerant assertion.
+//
+// Everywhere else, a call to a method outside the tolerant set must sit
+// under a lexical nil check of the same receiver expression
+// (`if reg != nil { ... }` or an earlier `if reg == nil { return }`).
+var NilReg = &Analyzer{
+	Name: "nilreg",
+	Doc:  "metrics registry methods must be nil-tolerant or nil-checked at the call site",
+	Run:  runNilReg,
+}
+
+// isRegistryTypeName matches the nil-tolerant-by-contract types of the
+// metrics package.
+func isRegistryTypeName(name string) bool {
+	return name == "Registry" || name == "ServerRegistry"
+}
+
+// isRegistryType reports whether t (or its pointee) is one of the metrics
+// registry types. Matching is by package name, so fixture packages exercise
+// the rule too.
+func isRegistryType(t types.Type) (*types.Named, bool) {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, ok := t.(*types.Named)
+	if !ok {
+		return nil, false
+	}
+	obj := n.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Name() != "metrics" || !isRegistryTypeName(obj.Name()) {
+		return nil, false
+	}
+	return n, true
+}
+
+func runNilReg(p *Pass) {
+	if p.Pkg.Types.Name() == "metrics" {
+		checkRegistryDecls(p)
+		return
+	}
+	checkRegistryCallSites(p)
+}
+
+// regMethod pairs a registry method declaration with its receiver variable
+// (nil when the receiver is unnamed).
+type regMethod struct {
+	fd   *ast.FuncDecl
+	recv *types.Var
+}
+
+// registryMethods collects every pointer-receiver method declaration on a
+// registry type in pkg, in file order (deterministic).
+func registryMethods(pkg *Package) []regMethod {
+	var out []regMethod
+	for _, f := range pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Recv == nil || len(fd.Recv.List) != 1 || fd.Body == nil {
+				continue
+			}
+			fn, ok := pkg.Info.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			recv := fn.Type().(*types.Signature).Recv()
+			if _, ok := recv.Type().(*types.Pointer); !ok {
+				continue
+			}
+			if _, ok := isRegistryType(recv.Type()); !ok {
+				continue
+			}
+			var rv *types.Var
+			if names := fd.Recv.List[0].Names; len(names) == 1 {
+				rv, _ = pkg.Info.Defs[names[0]].(*types.Var)
+			}
+			out = append(out, regMethod{fd: fd, recv: rv})
+		}
+	}
+	return out
+}
+
+// tolerantSet computes, to a fixed point, which registry methods of a
+// metrics package tolerate a nil receiver. Keys are "Type.Method", e.g.
+// "Registry.Export".
+func tolerantSet(pkg *Package, methods []regMethod) map[string]bool {
+	tolerant := make(map[string]bool)
+	for {
+		changed := false
+		for _, m := range methods {
+			key := methodKey(pkg, m.fd)
+			if tolerant[key] {
+				continue
+			}
+			if methodNilTolerant(pkg, m, tolerant) {
+				tolerant[key] = true
+				changed = true
+			}
+		}
+		if !changed {
+			return tolerant
+		}
+	}
+}
+
+// methodKey names a method declaration as "Type.Method".
+func methodKey(pkg *Package, fd *ast.FuncDecl) string {
+	fn := pkg.Info.Defs[fd.Name].(*types.Func)
+	named, _ := isRegistryType(fn.Type().(*types.Signature).Recv().Type())
+	return named.Obj().Name() + "." + fd.Name.Name
+}
+
+// methodNilTolerant decides one method against the current tolerant set.
+func methodNilTolerant(pkg *Package, m regMethod, tolerant map[string]bool) bool {
+	if hasDirective(m.fd.Doc, directiveNilTolerant) {
+		return true
+	}
+	if m.recv == nil {
+		return true // unnamed receiver: the body cannot dereference it
+	}
+	if leadingNilGuard(pkg.Info, m.fd, m.recv) {
+		return true
+	}
+	// No guard: every receiver use must be the receiver of a call to an
+	// already-tolerant method. Precompute which idents are covered that way.
+	covered := make(map[*ast.Ident]bool)
+	ast.Inspect(m.fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		x, ok := ast.Unparen(sel.X).(*ast.Ident)
+		if !ok || pkg.Info.Uses[x] != m.recv {
+			return true
+		}
+		selection, ok := pkg.Info.Selections[sel]
+		if !ok {
+			return true
+		}
+		fn, ok := selection.Obj().(*types.Func)
+		if !ok {
+			return true
+		}
+		named, ok := isRegistryType(selection.Recv())
+		if ok && tolerant[named.Obj().Name()+"."+fn.Name()] {
+			covered[x] = true
+		}
+		return true
+	})
+	ok := true
+	ast.Inspect(m.fd.Body, func(n ast.Node) bool {
+		if !ok {
+			return false
+		}
+		id, isIdent := n.(*ast.Ident)
+		if isIdent && pkg.Info.Uses[id] == m.recv && !covered[id] {
+			ok = false
+		}
+		return true
+	})
+	return ok
+}
+
+// leadingNilGuard reports whether a top-level `if recv == nil { return ... }`
+// opens the method body before any other receiver use.
+func leadingNilGuard(info *types.Info, fd *ast.FuncDecl, recv *types.Var) bool {
+	for _, stmt := range fd.Body.List {
+		ifs, ok := stmt.(*ast.IfStmt)
+		if ok && ifs.Init == nil && isNilCompare(info, ifs.Cond, recv, token.EQL) && endsInReturn(ifs.Body) {
+			return true
+		}
+		// Any earlier statement using the receiver defeats the guard.
+		if usesObject(info, stmt, recv) {
+			return false
+		}
+	}
+	return false
+}
+
+// usesObject reports whether the subtree mentions obj.
+func usesObject(info *types.Info, n ast.Node, obj types.Object) bool {
+	used := false
+	ast.Inspect(n, func(c ast.Node) bool {
+		if id, ok := c.(*ast.Ident); ok && info.Uses[id] == obj {
+			used = true
+		}
+		return !used
+	})
+	return used
+}
+
+// isNilCompare matches `x <op> nil` / `nil <op> x` for the given operator
+// with x resolving to obj.
+func isNilCompare(info *types.Info, cond ast.Expr, obj types.Object, op token.Token) bool {
+	b, ok := ast.Unparen(cond).(*ast.BinaryExpr)
+	if !ok || b.Op != op {
+		return false
+	}
+	matches := func(e ast.Expr) bool {
+		id, ok := ast.Unparen(e).(*ast.Ident)
+		return ok && info.Uses[id] == obj
+	}
+	isNil := func(e ast.Expr) bool {
+		id, ok := ast.Unparen(e).(*ast.Ident)
+		return ok && info.Uses[id] == types.Universe.Lookup("nil")
+	}
+	return (matches(b.X) && isNil(b.Y)) || (matches(b.Y) && isNil(b.X))
+}
+
+// endsInReturn reports whether a block's final statement returns.
+func endsInReturn(b *ast.BlockStmt) bool {
+	if len(b.List) == 0 {
+		return false
+	}
+	_, ok := b.List[len(b.List)-1].(*ast.ReturnStmt)
+	return ok
+}
+
+// checkRegistryDecls reports metrics methods that are neither guarded,
+// delegating, nor annotated.
+func checkRegistryDecls(p *Pass) {
+	methods := registryMethods(p.Pkg)
+	tolerant := tolerantSet(p.Pkg, methods)
+	for _, m := range methods {
+		key := methodKey(p.Pkg, m.fd)
+		if tolerant[key] {
+			continue
+		}
+		p.Reportf(m.fd.Name.Pos(), "open with `if r == nil { return }`, or annotate //depburst:niltolerant with a reason",
+			"registry method %s is not nil-tolerant; a disabled-metrics run would panic", key)
+	}
+}
+
+// checkRegistryCallSites flags calls to non-tolerant registry methods that
+// are not under a lexical nil check of the receiver.
+func checkRegistryCallSites(p *Pass) {
+	// Tolerant sets of the metrics packages this package calls into (the
+	// real one, or a fixture's), resolved lazily.
+	tolerantByPkg := make(map[*types.Package]map[string]bool)
+	tolerantFor := func(named *types.Named) map[string]bool {
+		tp := named.Obj().Pkg()
+		if set, ok := tolerantByPkg[tp]; ok {
+			return set
+		}
+		var set map[string]bool
+		if mp := p.L.Package(tp.Path()); mp != nil {
+			set = tolerantSet(mp, registryMethods(mp))
+		}
+		tolerantByPkg[tp] = set
+		return set
+	}
+
+	for _, f := range p.Pkg.Files {
+		var stack []ast.Node
+		ast.Inspect(f, func(n ast.Node) bool {
+			if n == nil {
+				stack = stack[:len(stack)-1]
+				return true
+			}
+			stack = append(stack, n)
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			selection, ok := p.Pkg.Info.Selections[sel]
+			if !ok {
+				return true
+			}
+			fn, ok := selection.Obj().(*types.Func)
+			if !ok {
+				return true
+			}
+			named, ok := isRegistryType(selection.Recv())
+			if !ok {
+				return true
+			}
+			set := tolerantFor(named)
+			if set == nil || set[named.Obj().Name()+"."+fn.Name()] {
+				return true
+			}
+			if nilCheckedAt(stack, sel.X) {
+				return true
+			}
+			p.Reportf(call.Pos(), "wrap the call in `if "+exprKey(sel.X)+" != nil` or make the method nil-tolerant",
+				"%s.%s is not nil-tolerant and %s is not nil-checked here",
+				named.Obj().Name(), fn.Name(), exprKey(sel.X))
+			return true
+		})
+	}
+}
+
+// exprKey renders simple receiver expressions (r, m.reg, s.cfg.Metrics) for
+// structural comparison; unrepresentable shapes yield "".
+func exprKey(e ast.Expr) string {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		if x := exprKey(e.X); x != "" {
+			return x + "." + e.Sel.Name
+		}
+	}
+	return ""
+}
+
+// nilCheckedAt reports whether the statements enclosing the call establish
+// `recv != nil`: an ancestor `if recv != nil { ... }` whose body holds the
+// call, or an earlier sibling `if recv == nil { return }` in an enclosing
+// block. Lexical guarantees end at a closure boundary.
+func nilCheckedAt(stack []ast.Node, recv ast.Expr) bool {
+	key := exprKey(recv)
+	if key == "" {
+		return false
+	}
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch anc := stack[i].(type) {
+		case *ast.IfStmt:
+			if i+1 < len(stack) && stack[i+1] == anc.Body && condAssertsNotNil(anc.Cond, key) {
+				return true
+			}
+		case *ast.BlockStmt:
+			var holder ast.Node
+			if i+1 < len(stack) {
+				holder = stack[i+1]
+			}
+			for _, stmt := range anc.List {
+				if holder != nil && stmt == holder {
+					break
+				}
+				ifs, ok := stmt.(*ast.IfStmt)
+				if ok && condIsNilEq(ifs.Cond, key) && endsInReturn(ifs.Body) {
+					return true
+				}
+			}
+		case *ast.FuncLit, *ast.FuncDecl:
+			return false
+		}
+	}
+	return false
+}
+
+// condAssertsNotNil matches conditions that include `key != nil` as a
+// top-level conjunct.
+func condAssertsNotNil(cond ast.Expr, key string) bool {
+	c, ok := ast.Unparen(cond).(*ast.BinaryExpr)
+	if !ok {
+		return false
+	}
+	switch c.Op {
+	case token.LAND:
+		return condAssertsNotNil(c.X, key) || condAssertsNotNil(c.Y, key)
+	case token.NEQ:
+		return nilCompareKey(c, key)
+	}
+	return false
+}
+
+// condIsNilEq matches `key == nil`.
+func condIsNilEq(cond ast.Expr, key string) bool {
+	b, ok := ast.Unparen(cond).(*ast.BinaryExpr)
+	return ok && b.Op == token.EQL && nilCompareKey(b, key)
+}
+
+// nilCompareKey matches a binary comparison between the keyed expression
+// and nil, in either order.
+func nilCompareKey(b *ast.BinaryExpr, key string) bool {
+	isNil := func(e ast.Expr) bool {
+		id, ok := ast.Unparen(e).(*ast.Ident)
+		return ok && id.Name == "nil"
+	}
+	return (exprKey(b.X) == key && isNil(b.Y)) || (exprKey(b.Y) == key && isNil(b.X))
+}

@@ -1,0 +1,54 @@
+package analysis
+
+import (
+	"testing"
+)
+
+// TestRepoIsLintClean self-runs the full analyzer suite over this
+// repository. The tree is lint-clean by construction: every sanctioned
+// exception carries a //depburst:allow annotation with its reason, so any
+// new wall-clock read, allocation on a hot path, dropped context,
+// unguarded registry use, or map-shaped export fails this test (and the CI
+// lint job) immediately.
+func TestRepoIsLintClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the whole module; skipped under -short")
+	}
+	diags, err := Run("../..", []string{"./..."}, All())
+	if err != nil {
+		t.Fatalf("self-run failed: %v", err)
+	}
+	for _, d := range diags {
+		t.Errorf("%s: [%s] %s", d.Pos(), d.Analyzer, d.Message)
+	}
+	if len(diags) > 0 {
+		t.Errorf("%d diagnostics; fix them or annotate with //depburst:allow <analyzer> <reason>", len(diags))
+	}
+}
+
+// TestSelfRunCoversAnnotations ensures the self-run actually exercises the
+// directive machinery: the repo declares hot roots, and the loader indexed
+// allow directives while loading it.
+func TestSelfRunCoversAnnotations(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the whole module; skipped under -short")
+	}
+	l, err := NewLoader("../..")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := l.Match("./...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hot := 0
+	for _, p := range pkgs {
+		hot += len(p.Hot)
+	}
+	if hot < 3 {
+		t.Errorf("expected at least 3 //depburst:hotpath roots in the repo, found %d", hot)
+	}
+	if len(l.allow) == 0 {
+		t.Error("expected //depburst:allow annotations to be indexed from the repo")
+	}
+}

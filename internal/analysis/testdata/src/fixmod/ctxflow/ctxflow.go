@@ -1,0 +1,74 @@
+// Package ctxflow is the ctxflow analyzer's fixture: context-holding
+// functions that detach, drop, or correctly thread their context.
+package ctxflow
+
+import "context"
+
+type Sim struct{ n int }
+
+// Run is the context-free core.
+func (s *Sim) Run() int { return s.n }
+
+// RunContext delegates to Run: the wrapper idiom the analyzer must exempt.
+func (s *Sim) RunContext(ctx context.Context) int {
+	if ctx != nil && ctx.Err() != nil {
+		return 0
+	}
+	return s.Run()
+}
+
+// Detach mints a fresh root instead of threading ctx.
+func Detach(ctx context.Context, s *Sim) int {
+	_ = ctx
+	return s.RunContext(context.Background())
+}
+
+// Todo reaches for the other fresh root.
+func Todo(ctx context.Context, s *Sim) int {
+	_ = ctx
+	return s.RunContext(context.TODO())
+}
+
+// NilCtx passes a nil literal where a context is expected.
+func NilCtx(ctx context.Context, s *Sim) int {
+	_ = ctx
+	return s.RunContext(nil)
+}
+
+// Drops calls the context-free method although RunContext exists.
+func Drops(ctx context.Context, s *Sim) int {
+	return s.Run()
+}
+
+// Threads is correct: ctx flows through.
+func Threads(ctx context.Context, s *Sim) int {
+	return s.RunContext(ctx)
+}
+
+// Allowed documents an intentional detachment.
+func Allowed(ctx context.Context, s *Sim) int {
+	_ = ctx
+	return s.Run() //depburst:allow ctxflow -- fixture: deliberate detachment
+}
+
+// NoCtx holds no context, so calling Run is fine.
+func NoCtx(s *Sim) int {
+	return s.Run()
+}
+
+// Work is a package-level pair: WorkCtx is its context sibling.
+func Work(n int) int { return n }
+
+// WorkCtx is the context-accepting variant (the "Ctx" suffix form).
+func WorkCtx(ctx context.Context, n int) int {
+	if ctx != nil && ctx.Err() != nil {
+		return 0
+	}
+	return Work(n)
+}
+
+// CallsWork drops ctx although WorkCtx exists.
+func CallsWork(ctx context.Context) int {
+	_ = ctx
+	return Work(1)
+}

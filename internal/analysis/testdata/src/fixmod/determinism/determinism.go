@@ -1,0 +1,121 @@
+// Package determinism is the determinism analyzer's fixture: each function
+// is one violation or one sanctioned idiom, and the golden file pins which
+// lines fire.
+package determinism
+
+import (
+	"math/rand"
+	"slices"
+	"sort"
+	"time"
+)
+
+// Stamp reads the wall clock into an output value.
+func Stamp() int64 {
+	return time.Now().Unix()
+}
+
+// Age depends on the wall clock through Since.
+func Age(t0 time.Time) time.Duration {
+	return time.Since(t0)
+}
+
+// Deadline depends on the wall clock through Until.
+func Deadline(t0 time.Time) time.Duration {
+	return time.Until(t0)
+}
+
+// Telemetry is sanctioned: the annotation names the analyzer and a reason.
+func Telemetry() int64 {
+	return time.Now().Unix() //depburst:allow determinism -- fixture: telemetry stamp never feeds an export
+}
+
+// Roll uses the (flagged) global generator import.
+func Roll() int { return rand.Intn(6) }
+
+// JoinKeys is order-sensitive: plain assignment keeps the last-iterated key.
+func JoinKeys(m map[string]int) string {
+	out := ""
+	for k := range m {
+		out = out + k
+	}
+	return out
+}
+
+// SortedKeys is the sanctioned export idiom: collect, sort, emit.
+func SortedKeys(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// UnsortedKeys collects map keys but never sorts them.
+func UnsortedKeys(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+// SlicesSorted uses the slices-package sorter, which is also recognised.
+func SlicesSorted(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	slices.Sort(keys)
+	return keys
+}
+
+// FillSlice writes through a slice index inside the range: the element
+// order is whatever the map yields, so this is order-sensitive.
+func FillSlice(m map[int]string, out []string) {
+	i := 0
+	for _, v := range m {
+		out[i] = v
+		i++
+	}
+}
+
+// Sum accumulates commutatively: order-insensitive.
+func Sum(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// Histogram writes map elements and counts: both order-insensitive.
+func Histogram(m map[string]int) map[int]int {
+	h := make(map[int]int, len(m))
+	n := 0
+	for _, v := range m {
+		h[v] = h[v] + 1
+		n++
+	}
+	_ = n
+	return h
+}
+
+// Clear deletes during iteration, which the spec blesses.
+func Clear(m map[string]int) {
+	for k := range m {
+		delete(m, k)
+	}
+}
+
+// Branchy has a control-flow body the analyzer cannot prove commutative.
+func Branchy(m map[string]int) int {
+	best := 0
+	for _, v := range m {
+		if v > best {
+			best = v
+		}
+	}
+	return best
+}

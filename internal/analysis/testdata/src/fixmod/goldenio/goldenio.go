@@ -1,0 +1,57 @@
+// Package goldenio is the goldenio analyzer's fixture: export bytes minted
+// from maps versus explicitly ordered structures.
+package goldenio
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// Doc is an explicitly ordered document: clean.
+type Doc struct {
+	Name string
+	Vals []int
+}
+
+// MapDoc hides a map one field deep.
+type MapDoc struct {
+	Name string
+	Tags map[string]string
+}
+
+// Nested hides it two levels deep, behind a pointer and a slice.
+type Nested struct {
+	Inner []*MapDoc
+}
+
+// Clean marshals an ordered struct.
+func Clean(d Doc) ([]byte, error) { return json.Marshal(d) }
+
+// CleanSlice marshals a slice of ordered structs.
+func CleanSlice(d []Doc) ([]byte, error) { return json.Marshal(d) }
+
+// RawMap marshals a bare map: flagged.
+func RawMap(m map[string]int) ([]byte, error) {
+	return json.Marshal(m)
+}
+
+// FieldMap marshals a struct with a map field: flagged.
+func FieldMap(d MapDoc) ([]byte, error) {
+	return json.MarshalIndent(d, "", " ")
+}
+
+// DeepMap finds the map through pointer and slice indirection: flagged.
+func DeepMap(n Nested) ([]byte, error) {
+	return json.Marshal(n)
+}
+
+// Stream catches the encoder entry point too: flagged.
+func Stream(w io.Writer, m map[string]int) error {
+	return json.NewEncoder(w).Encode(m)
+}
+
+// Allowed documents a sanctioned map export.
+func Allowed(m map[string]int) ([]byte, error) {
+	//depburst:allow goldenio -- fixture: schema-preserving merge document
+	return json.Marshal(m)
+}

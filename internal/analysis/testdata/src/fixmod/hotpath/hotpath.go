@@ -1,0 +1,147 @@
+// Package hotpath is the hotpath analyzer's fixture: roots marked
+// //depburst:hotpath exercise every allocation source the analyzer knows,
+// plus the idioms it must accept (self-append reuse, open-coded defer,
+// immediately-invoked literals, pooled cold paths).
+package hotpath
+
+import "fmt"
+
+type node struct{ v int }
+
+// Ring is a steady-state structure: its hot methods reuse backing storage.
+type Ring struct {
+	buf  []int
+	free []*node
+}
+
+// Step is a hot root; the self-append reuse idiom is allowed, and the
+// analyzer descends into helper.
+//
+//depburst:hotpath
+func (r *Ring) Step(v int) {
+	r.buf = append(r.buf, v)
+	r.helper(v)
+}
+
+// helper is not annotated: it is checked because Step reaches it.
+func (r *Ring) helper(v int) {
+	fmt.Println(v)
+}
+
+// Grow trips make, growing append, and fmt.
+//
+//depburst:hotpath
+func Grow(xs []int, n int) []int {
+	ys := make([]int, n)
+	xs = append(xs, ys...)
+	s := fmt.Sprintf("%d", n)
+	_ = s
+	return xs
+}
+
+// Mint escapes a composite literal.
+//
+//depburst:hotpath
+func Mint() *node {
+	return &node{}
+}
+
+// MintPooled only allocates on the sanctioned cold path.
+//
+//depburst:hotpath
+func MintPooled(free []*node) *node {
+	if len(free) > 0 {
+		return free[len(free)-1]
+	}
+	return &node{} //depburst:allow hotpath -- fixture: cold path feeding the pool
+}
+
+// Sink is a dynamic callee: outside the static closure, so Push is clean
+// here (the AllocsPerRun walls are the backstop).
+type Sink interface{ Put(int) }
+
+//depburst:hotpath
+func Push(s Sink, v int) {
+	s.Put(v)
+}
+
+func put(v any) { _ = v }
+
+// Box boxes an int into an interface parameter.
+//
+//depburst:hotpath
+func Box(v int) {
+	put(v)
+}
+
+// Accept passes the argument shapes that do NOT box: untyped nil,
+// pointer-shaped values, and values that are already interfaces.
+//
+//depburst:hotpath
+func Accept(p *node, a any) {
+	put(nil)
+	put(p)
+	put(a)
+}
+
+func putAll(vs ...any) { _ = vs }
+
+// Variadic boxes each bare element; forwarding a slice is free.
+//
+//depburst:hotpath
+func Variadic(v int, vs []any) {
+	putAll(vs...)
+	putAll(v)
+}
+
+// Str copies through a slice-to-string conversion.
+//
+//depburst:hotpath
+func Str(b []byte) string {
+	return string(b)
+}
+
+// Closure returns a capturing literal that outlives the call.
+//
+//depburst:hotpath
+func Closure(total int) func() int {
+	return func() int { return total }
+}
+
+// Deferred uses the two literal forms that stay on the stack.
+//
+//depburst:hotpath
+func Deferred() (err error) {
+	defer func() { err = nil }()
+	x := func() int { return 1 }()
+	_ = x
+	return nil
+}
+
+// Concat allocates a fresh string.
+//
+//depburst:hotpath
+func Concat(a, b string) string {
+	return a + b
+}
+
+// Bytes copies through a string-to-slice conversion.
+//
+//depburst:hotpath
+func Bytes(s string) []byte {
+	return []byte(s)
+}
+
+// Spawn starts a goroutine from a hot path.
+//
+//depburst:hotpath
+func Spawn(fn func()) {
+	go fn()
+}
+
+// Literal materialises a slice literal.
+//
+//depburst:hotpath
+func Literal() []int {
+	return []int{1, 2, 3}
+}

@@ -1,0 +1,60 @@
+// Package metrics mirrors the real registry contract for the nilreg
+// fixture: guarded, delegating, asserted, and broken methods.
+package metrics
+
+// Registry is the fixture twin of the repo's metrics.Registry.
+type Registry struct {
+	hits  int
+	names []string
+}
+
+// Inc is tolerant the canonical way: a leading nil guard.
+func (r *Registry) Inc() {
+	if r == nil {
+		return
+	}
+	r.hits++
+}
+
+// IncTwice is tolerant by delegation: every receiver use calls a tolerant
+// method, which the fixed point resolves.
+func (r *Registry) IncTwice() {
+	r.Inc()
+	r.Inc()
+}
+
+// Hits dereferences the receiver with no guard: flagged.
+func (r *Registry) Hits() int {
+	return r.hits
+}
+
+// Asserted is unguarded but carries the explicit tolerance assertion.
+//
+//depburst:niltolerant -- fixture: tolerance asserted for the test
+func (r *Registry) Asserted() int {
+	return len(r.names)
+}
+
+// Reset guards with the swapped comparison order.
+func (r *Registry) Reset() {
+	if nil == r {
+		return
+	}
+	r.hits = 0
+}
+
+// ServerRegistry checks the second contract type.
+type ServerRegistry struct{ gauges map[string]float64 }
+
+// Set is guarded.
+func (s *ServerRegistry) Set(name string, v float64) {
+	if s == nil {
+		return
+	}
+	s.gauges[name] = v
+}
+
+// Len is not: flagged.
+func (s *ServerRegistry) Len() int {
+	return len(s.gauges)
+}

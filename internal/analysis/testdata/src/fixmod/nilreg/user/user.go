@@ -1,0 +1,67 @@
+// Package user exercises the nilreg call-site rule: calls to non-tolerant
+// registry methods must sit under a lexical nil check.
+package user
+
+import "fix/nilreg/metrics"
+
+// Guarded wraps the call in the positive check.
+func Guarded(r *metrics.Registry) int {
+	if r != nil {
+		return r.Hits()
+	}
+	return 0
+}
+
+// EarlyReturn guards with the early-out form.
+func EarlyReturn(r *metrics.Registry) int {
+	if r == nil {
+		return 0
+	}
+	return r.Hits()
+}
+
+// Unchecked calls a non-tolerant method with no check: flagged.
+func Unchecked(r *metrics.Registry) int {
+	return r.Hits()
+}
+
+// Tolerant calls only nil-safe methods: no check needed.
+func Tolerant(r *metrics.Registry) {
+	r.Inc()
+	r.IncTwice()
+	_ = r.Asserted()
+}
+
+// Holder shows the field-receiver form.
+type Holder struct{ Reg *metrics.Registry }
+
+// Bump mixes a tolerant call (fine) with an unchecked non-tolerant one
+// (flagged).
+func (h *Holder) Bump() int {
+	h.Reg.Inc()
+	return h.Reg.Hits()
+}
+
+// BumpChecked checks the same field expression first.
+func (h *Holder) BumpChecked() int {
+	if h.Reg == nil {
+		return 0
+	}
+	return h.Reg.Hits()
+}
+
+// Conjunct accepts `!= nil` as one arm of a conjunction.
+func Conjunct(r *metrics.Registry, on bool) int {
+	if on && r != nil {
+		return r.Hits()
+	}
+	return 0
+}
+
+// Server exercises the second registry type at a call site.
+func Server(s *metrics.ServerRegistry) int {
+	if s != nil {
+		return s.Len()
+	}
+	return 0
+}

@@ -127,6 +127,8 @@ func (c *Core) AddActive(d units.Time) { c.total.Active += d }
 // counters into ctr, and returns the completion time. The block's memory
 // events flow through the shared hierarchy, so concurrent cores interact
 // through cache and DRAM state.
+//
+//depburst:hotpath
 func (c *Core) Run(start units.Time, b *Block, ctr *Counters) units.Time {
 	// Mirror this block's counter deltas into the per-core totals (Run
 	// never touches Active, which AddActive owns).

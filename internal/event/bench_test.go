@@ -80,6 +80,28 @@ func TestScheduleStepZeroAllocs(t *testing.T) {
 	}
 }
 
+// TestRunUntilZeroAllocs guards the whole drain loop — RunUntil and the
+// push/pop heap machinery under it are //depburst:hotpath roots, and once
+// the free list is warm a full schedule-and-drain cycle must stay on it.
+func TestRunUntilZeroAllocs(t *testing.T) {
+	e := New()
+	fn := Func(func(units.Time) {})
+	for i := 0; i < 64; i++ {
+		e.Schedule(units.Time(1+i), fn)
+	}
+	e.RunUntil(1 << 20)
+	avg := testing.AllocsPerRun(1000, func() {
+		base := e.Now()
+		for i := 0; i < 8; i++ {
+			e.Schedule(base+units.Time(1+i), fn)
+		}
+		e.RunUntil(base + 16)
+	})
+	if avg != 0 {
+		t.Errorf("RunUntil drain allocates %.2f objects/op in steady state, want 0", avg)
+	}
+}
+
 // TestCancelZeroAllocs: cancellation must not allocate (the old engine paid
 // a map delete; the new one flips a flag).
 func TestCancelZeroAllocs(t *testing.T) {

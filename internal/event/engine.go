@@ -58,6 +58,8 @@ func (e *Engine) Now() units.Time { return e.now }
 
 // Schedule registers fn to run at time at. Scheduling in the past (before
 // Now) panics: it would silently reorder causality.
+//
+//depburst:hotpath
 func (e *Engine) Schedule(at units.Time, fn Func) Handle {
 	if at < e.now {
 		panic("event: scheduling in the past")
@@ -68,7 +70,7 @@ func (e *Engine) Schedule(at units.Time, fn Func) Handle {
 		e.free[n-1] = nil
 		e.free = e.free[:n-1]
 	} else {
-		it = &item{}
+		it = &item{} //depburst:allow hotpath -- cold path: the free list feeds steady state; nodes are minted only while the queue still grows
 	}
 	e.nextSeq++ // pre-increment: seq 0 stays reserved for the inert zero Handle
 	it.at, it.seq, it.fn, it.cancel = at, e.nextSeq, fn, false
@@ -100,6 +102,8 @@ func (e *Engine) Pending() int { return e.live }
 
 // Step fires the earliest pending event and returns true, or returns false
 // if the queue is empty.
+//
+//depburst:hotpath
 func (e *Engine) Step() bool {
 	for len(e.q) > 0 {
 		it := e.pop()
@@ -131,6 +135,8 @@ func (e *Engine) Run() units.Time {
 // RunUntil fires events with timestamps <= deadline. Events scheduled later
 // remain queued. It returns the final simulated time, which never exceeds
 // the deadline.
+//
+//depburst:hotpath
 func (e *Engine) RunUntil(deadline units.Time) units.Time {
 	e.stopped = false
 	for !e.stopped {

@@ -111,6 +111,8 @@ type AccessResult struct {
 // Access looks up addr, allocating the line on a miss (write-allocate).
 // write marks the line dirty. The returned result says whether it hit and
 // whether a dirty victim must be written back to the next level.
+//
+//depburst:hotpath
 func (c *Cache) Access(addr Addr, write bool) AccessResult {
 	si := c.setIndex(addr)
 	set := c.set(si)

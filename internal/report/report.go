@@ -3,6 +3,7 @@
 package report
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -78,25 +79,58 @@ func (t *Table) String() string {
 	return b.String()
 }
 
+// jsonRow marshals one table row as a JSON object whose keys appear in
+// column order. The explicit ordering keeps the document's shape in the
+// document itself instead of delegating it to the encoder's map handling
+// (the goldenio invariant), and renders columns in their table order.
+type jsonRow struct {
+	keys, vals []string
+}
+
+func (r jsonRow) MarshalJSON() ([]byte, error) {
+	var b bytes.Buffer
+	b.WriteByte('{')
+	for i, k := range r.keys {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		kb, err := json.Marshal(k)
+		if err != nil {
+			return nil, err
+		}
+		b.Write(kb)
+		b.WriteByte(':')
+		vb, err := json.Marshal(r.vals[i])
+		if err != nil {
+			return nil, err
+		}
+		b.Write(vb)
+	}
+	b.WriteByte('}')
+	return b.Bytes(), nil
+}
+
 // FprintJSON renders the table as a JSON object with the rows keyed by the
-// header, for machine consumption (`depburst <cmd> -json`).
+// header, for machine consumption (`depburst <cmd> -json`). Row keys keep
+// the table's column order.
 func (t *Table) FprintJSON(w io.Writer) error {
 	type doc struct {
-		Title string              `json:"title"`
-		Rows  []map[string]string `json:"rows"`
-		Notes []string            `json:"notes,omitempty"`
+		Title string    `json:"title"`
+		Rows  []jsonRow `json:"rows"`
+		Notes []string  `json:"notes,omitempty"`
 	}
-	d := doc{Title: t.Title, Notes: t.Notes, Rows: make([]map[string]string, 0, len(t.Rows))}
+	d := doc{Title: t.Title, Notes: t.Notes, Rows: make([]jsonRow, 0, len(t.Rows))}
 	for _, row := range t.Rows {
-		m := make(map[string]string, len(row))
+		var r jsonRow
 		for i, c := range row {
 			key := fmt.Sprintf("col%d", i)
 			if i < len(t.Header) {
 				key = t.Header[i]
 			}
-			m[key] = c
+			r.keys = append(r.keys, key)
+			r.vals = append(r.vals, c)
 		}
-		d.Rows = append(d.Rows, m)
+		d.Rows = append(d.Rows, r)
 	}
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")

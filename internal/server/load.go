@@ -90,9 +90,9 @@ func RunLoad(ctx context.Context, o LoadOptions) (*LoadReport, error) {
 		if len(o.Body) > 0 {
 			req.Header.Set("Content-Type", "application/json")
 		}
-		start := time.Now()
+		start := time.Now() //depburst:allow determinism -- the load generator measures real request latency
 		resp, err := client.Do(req)
-		lat := time.Since(start)
+		lat := time.Since(start) //depburst:allow determinism -- real latency is the measurement
 		mu.Lock()
 		defer mu.Unlock()
 		rep.Requests++
@@ -119,7 +119,7 @@ func RunLoad(ctx context.Context, o LoadOptions) (*LoadReport, error) {
 	ticker := time.NewTicker(interval)
 	defer ticker.Stop()
 	var wg sync.WaitGroup
-	start := time.Now()
+	start := time.Now() //depburst:allow determinism -- wall duration bounds the measured RPS
 fire:
 	for {
 		select {
@@ -134,7 +134,7 @@ fire:
 		}
 	}
 	wg.Wait()
-	wall := time.Since(start)
+	wall := time.Since(start) //depburst:allow determinism -- wall duration bounds the measured RPS
 
 	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
 	q := func(p float64) float64 {

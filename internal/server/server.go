@@ -139,9 +139,10 @@ func New(cfg Config) (*Server, error) {
 // the metrics label, and the recorder captures status and wall latency.
 func (s *Server) route(pattern string, h http.HandlerFunc) {
 	s.mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
-		start := time.Now()
+		start := time.Now() //depburst:allow determinism -- latency telemetry observes the real clock; it never feeds prediction output
 		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
 		h(rec, r)
+		//depburst:allow determinism -- latency telemetry observes the real clock
 		s.cfg.Metrics.ObserveRequest(pattern, rec.status, time.Since(start).Nanoseconds())
 	})
 }
@@ -186,7 +187,9 @@ func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
 	case <-ctx.Done():
 	}
 	s.draining.Store(true)
-	drainCtx, cancel := context.WithTimeout(context.Background(), s.cfg.DrainTimeout)
+	// The drain context must outlive the just-cancelled serve ctx, so it is
+	// deliberately detached from it.
+	drainCtx, cancel := context.WithTimeout(context.Background(), s.cfg.DrainTimeout) //depburst:allow ctxflow -- deliberate detachment: draining starts when ctx is already done
 	defer cancel()
 	if err := srv.Shutdown(drainCtx); err != nil {
 		return fmt.Errorf("server: drain: %w", err)

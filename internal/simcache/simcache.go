@@ -186,7 +186,7 @@ func (s *Store) Get(key string, out any) bool {
 		return false
 	}
 	// Refresh recency for the LRU cap, best effort.
-	now := time.Now()
+	now := time.Now() //depburst:allow determinism -- LRU recency stamp; cache hits return byte-identical payloads regardless
 	os.Chtimes(path, now, now)
 	s.count(func(st *Stats) { st.Hits++ })
 	return true
