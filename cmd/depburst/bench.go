@@ -9,7 +9,9 @@ import (
 	"strings"
 	"time"
 
+	"depburst/internal/dacapo"
 	"depburst/internal/experiments"
+	"depburst/internal/sampling"
 	"depburst/internal/simcache"
 	"depburst/internal/units"
 )
@@ -41,28 +43,51 @@ type benchDoc struct {
 	CacheDeterministic *bool   `json:"cache_deterministic,omitempty"`
 	CacheEntries       int     `json:"cache_entries,omitempty"`
 	CacheBytes         int64   `json:"cache_bytes,omitempty"`
+
+	// Sampled-mode phase (schema /2): the suite rendered cold (populating
+	// a fresh cache) and warm under the default sampling policy. The
+	// speedup compares sampled cold against full-detail cold — the number
+	// that matters for first contact — and the error delta is the shift
+	// sampling induces in the DEP+BURST mean-abs prediction error over the
+	// Figure 1 matrix (a fraction; x100 for percentage points).
+	SampleColdSeconds   float64 `json:"sample_cold_seconds,omitempty"`
+	SampleWarmSeconds   float64 `json:"sample_warm_seconds,omitempty"`
+	SampleSpeedup       float64 `json:"sample_speedup,omitempty"`
+	SampleErrorDelta    float64 `json:"sample_error_delta,omitempty"`
+	SampleDeterministic *bool   `json:"sample_deterministic,omitempty"`
 }
 
 // cmdBench times the full experiment suite through the parallel engine,
-// through a serial (-j 1) runner (unless -baseline=false), and cold/warm
-// through a fresh persistent cache (unless -cachecheck=false), checks that
-// every mode's output is byte-identical, and writes the result as JSON.
+// through a serial (-j 1) runner (unless -baseline=false), cold/warm
+// through a fresh persistent cache (unless -cachecheck=false), and cold/warm
+// in sampled mode (unless -samplecheck=false), checks that every mode's
+// output is byte-identical to its own reruns, and writes the result as JSON.
 func cmdBench(args []string, workers int) {
 	fs := flag.NewFlagSet("bench", flag.ExitOnError)
 	step := fs.Int("step", 500, "static sweep step in MHz for Figure 7")
 	out := fs.String("o", "BENCH_suite.json", "output file")
 	baseline := fs.Bool("baseline", true, "also run serially (-j 1) to measure speedup and verify determinism")
 	cachecheck := fs.Bool("cachecheck", true, "also run cold+warm through a temporary persistent cache to measure the warm-rerun speedup and verify byte-identity")
+	samplecheck := fs.Bool("samplecheck", true, "also run the suite cold+warm in sampled mode to measure its cold-run speedup and prediction-error delta")
 	fs.Parse(args)
 
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
+	if runtime.GOMAXPROCS(0) == 1 {
+		fmt.Fprintln(os.Stderr, "bench: WARNING: GOMAXPROCS is 1; the parallel engine cannot show a speedup and every timing understates a multi-core runner")
+	}
 
-	nTables := 0
-	render := func(n int, disk *simcache.Store) (string, time.Duration) {
+	newRunner := func(n int, disk *simcache.Store, sampled bool) *experiments.Runner {
 		r := experiments.NewRunnerWorkers(n)
 		r.SetDiskCache(disk)
+		if sampled {
+			r.SetSampling(sampling.DefaultPolicy())
+		}
+		return r
+	}
+	nTables := 0
+	render := func(r *experiments.Runner) (string, time.Duration) {
 		start := time.Now() //depburst:allow determinism -- bench times the real wall clock; the tables themselves are checked for byte-identity
 		tables := suiteTables(r, units.Freq(*step))
 		var b strings.Builder
@@ -76,11 +101,12 @@ func cmdBench(args []string, workers int) {
 
 	fmt.Fprintf(os.Stderr, "bench: full suite, %d workers (GOMAXPROCS %d)...\n",
 		workers, runtime.GOMAXPROCS(0))
-	parText, parDur := render(workers, nil)
+	par := newRunner(workers, nil, false)
+	parText, parDur := render(par)
 	fmt.Fprintf(os.Stderr, "bench: parallel run %.2fs\n", parDur.Seconds())
 
 	doc := benchDoc{
-		Schema:          "depburst-bench/1",
+		Schema:          "depburst-bench/2",
 		GOMAXPROCS:      runtime.GOMAXPROCS(0),
 		Workers:         workers,
 		StepMHz:         *step,
@@ -92,7 +118,7 @@ func cmdBench(args []string, workers int) {
 	diverged := false
 	if *baseline {
 		fmt.Fprintf(os.Stderr, "bench: serial baseline (-j 1)...\n")
-		serText, serDur := render(1, nil)
+		serText, serDur := render(newRunner(1, nil, false))
 		det := parText == serText
 		doc.SerialSeconds = serDur.Seconds()
 		doc.Speedup = serDur.Seconds() / parDur.Seconds()
@@ -117,9 +143,9 @@ func cmdBench(args []string, workers int) {
 			os.Exit(1)
 		}
 		fmt.Fprintf(os.Stderr, "bench: cold run into %s...\n", dir)
-		coldText, coldDur := render(workers, st)
+		coldText, coldDur := render(newRunner(workers, st, false))
 		fmt.Fprintf(os.Stderr, "bench: cold run %.2fs; warm rerun...\n", coldDur.Seconds())
-		warmText, warmDur := render(workers, st)
+		warmText, warmDur := render(newRunner(workers, st, false))
 		det := coldText == parText && warmText == parText
 		doc.CacheColdSeconds = coldDur.Seconds()
 		doc.CacheWarmSeconds = warmDur.Seconds()
@@ -130,6 +156,45 @@ func cmdBench(args []string, workers int) {
 			warmDur.Seconds(), doc.CacheSpeedup, det, doc.CacheEntries, float64(doc.CacheBytes)/1e6)
 		if !det {
 			fmt.Fprintln(os.Stderr, "bench: ERROR: cached output differs from uncached output")
+			diverged = true
+		}
+	}
+	if *samplecheck {
+		dir, err := os.MkdirTemp("", "depburst-bench-sample-")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer os.RemoveAll(dir)
+		st, err := simcache.Open(dir, 0)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "bench: sampled cold run (-sample)...\n")
+		sr := newRunner(workers, st, true)
+		sampColdText, sampColdDur := render(sr)
+		fmt.Fprintf(os.Stderr, "bench: sampled cold %.2fs; warm rerun...\n", sampColdDur.Seconds())
+		sampWarmText, sampWarmDur := render(newRunner(workers, st, true))
+		det := sampWarmText == sampColdText
+		doc.SampleColdSeconds = sampColdDur.Seconds()
+		doc.SampleWarmSeconds = sampWarmDur.Seconds()
+		// Compare cold against cold: prefer the cachecheck phase's cold run
+		// (same populating-cache conditions) over the uncached parallel run.
+		fullCold := parDur.Seconds()
+		if doc.CacheColdSeconds > 0 {
+			fullCold = doc.CacheColdSeconds
+		}
+		doc.SampleSpeedup = fullCold / sampColdDur.Seconds()
+		doc.SampleDeterministic = &det
+		// Both runners hold every Figure 1 truth memoised from the renders
+		// above, so the error delta costs only the predictor evaluations.
+		suite := dacapo.Suite()
+		doc.SampleErrorDelta = depBurstMeanAbs(sr, suite) - depBurstMeanAbs(par, suite)
+		fmt.Fprintf(os.Stderr, "bench: sampled cold %.2fs (%.2fx over full cold), warm %.2fs, DEP+BURST error delta %+.2fpp, deterministic=%v\n",
+			sampColdDur.Seconds(), doc.SampleSpeedup, sampWarmDur.Seconds(), 100*doc.SampleErrorDelta, det)
+		if !det {
+			fmt.Fprintln(os.Stderr, "bench: ERROR: warm sampled output differs from cold sampled output")
 			diverged = true
 		}
 	}

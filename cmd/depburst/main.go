@@ -22,6 +22,7 @@ import (
 	"depburst/internal/experiments"
 	"depburst/internal/obsio"
 	"depburst/internal/report"
+	"depburst/internal/sampling"
 	"depburst/internal/sim"
 	"depburst/internal/simcache"
 	"depburst/internal/tracefmt"
@@ -84,7 +85,7 @@ func suiteTables(r *experiments.Runner, step units.Freq) []*report.Table {
 }
 
 func usage() {
-	fmt.Fprintf(os.Stderr, `usage: depburst [-json] [-j N] [-cache DIR] <command> [flags]
+	fmt.Fprintf(os.Stderr, `usage: depburst [-json] [-j N] [-cache DIR] [-sample] <command> [flags]
 
 global flags:
   -json             emit tables as JSON instead of aligned text
@@ -95,6 +96,11 @@ global flags:
                     A warm rerun deserialises instead of simulating and is
                     byte-identical to a cold run. DEPBURST_CACHE_MAX_MB
                     caps the cache size (LRU, default 4096)
+  -sample           sampled simulation: detect steady-state phases online and
+                    fast-forward them (see DESIGN.md "Sampled simulation").
+                    Several times faster cold, with a machine-reported error
+                    bound per run; results are approximate but deterministic
+                    and cached separately from full-detail ones
 
 commands:
   table1            benchmark characteristics at 1 GHz (Table I)
@@ -117,8 +123,10 @@ commands:
   trace -bench NAME [-threshold X]  frequency timeline under the manager
   svg -bench NAME [-threshold X] [-o FILE]  the same timeline as an SVG
   all [-step MHz]   every experiment in order (one shared, prewarmed runner)
-  bench [-step MHz] [-o FILE] [-baseline]  time the suite parallel vs serial,
-                    verify byte-identical output, write BENCH_suite.json
+  bench [-step MHz] [-o FILE] [-baseline] [-cachecheck] [-samplecheck]
+                    time the suite parallel vs serial, cold vs warm through
+                    the cache, and cold vs warm in sampled mode; verify
+                    byte-identical output, write BENCH_suite.json
   run -bench NAME [-freq MHz] [-metrics FILE] [-timeline FILE]
       [-managed] [-threshold X] [-target MHz]
                     one measured run; -metrics exports the observability
@@ -129,6 +137,10 @@ commands:
   record -bench NAME [-freq MHz] -o FILE   record an observation as JSON
   suite [-o FILE]   export the stock benchmark suite as editable JSON
   doctor            quick self-check: determinism, accuracy, energy sanity
+  samplecheck [-min-speedup X] [-o FILE]  sampled-mode accuracy gate: run the
+                    Figure 1 truth matrix cold in both modes, verify every
+                    sampled run lands inside its reported error bound, and
+                    fail below the minimum cold-run speedup (CI job)
   offline -obs FILE [-target MHz]          predict offline from a recording
   predict -bench NAME [-base MHz] [-target MHz]  all models on one benchmark
   serve [-addr HOST:PORT] [-max-queue N] [-request-workers N] [-timeout D]
@@ -185,12 +197,16 @@ func main() {
 	argv := os.Args[1:]
 	workers := 0 // 0 = GOMAXPROCS default
 	cacheDir := os.Getenv("DEPBURST_CACHE")
+	sampled := false
 global:
 	for len(argv) > 0 {
 		arg := argv[0]
 		switch {
 		case arg == "-json":
 			jsonOut = true
+			argv = argv[1:]
+		case arg == "-sample":
+			sampled = true
 			argv = argv[1:]
 		case arg == "-j" || arg == "-parallel":
 			if len(argv) < 2 {
@@ -228,6 +244,9 @@ global:
 		if st := openCache(cacheDir); st != nil {
 			r.SetDiskCache(st)
 		}
+	}
+	if sampled {
+		r.SetSampling(sampling.DefaultPolicy())
 	}
 
 	switch cmd {
@@ -302,6 +321,8 @@ global:
 		cmdSuite(args)
 	case "doctor":
 		cmdDoctor()
+	case "samplecheck":
+		cmdSampleCheck(args, workers)
 	case "offline":
 		cmdOffline(args)
 	case "predict":

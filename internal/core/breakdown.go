@@ -29,6 +29,52 @@ type EpochBreakdown struct {
 	Idle     units.Time // remainder: idle epochs and carried slack
 }
 
+// SumBreakdownEpochs aggregates BreakdownEpochs' component attribution
+// without materialising per-epoch entries: the summed pipeline, memory,
+// burst and idle components and the total prediction over the epoch
+// slice. It always uses per-epoch critical-thread prediction (o.PerEpochCTP
+// is forced), which needs no across-epoch delta state — the function is
+// allocation-free, so the sampling detector can fingerprint every quantum
+// from it on the per-quantum hot path.
+func SumBreakdownEpochs(epochs []kernel.Epoch, base, target units.Freq, o Options) (pipeline, memory, burst, idle, pred units.Time) {
+	o.PerEpochCTP = true
+	for i := range epochs {
+		ep := &epochs[i]
+		if len(ep.Slices) == 0 {
+			d := ep.Duration()
+			idle += d
+			pred += d
+			continue
+		}
+		var iPrime units.Time
+		var crit kernel.ThreadSlice
+		first := true
+		for _, sl := range ep.Slices {
+			e := predictThread(sl.Delta.Active, sl.Delta, o, base, target)
+			if first || e > iPrime {
+				iPrime = e
+				crit = sl
+				first = false
+			}
+		}
+		if iPrime < 0 {
+			iPrime = 0
+		}
+		ns := nonScaling(crit.Delta, crit.Delta.Active, o)
+		m := ns
+		if o.Burst {
+			m = nonScaling(crit.Delta, crit.Delta.Active, Options{Engine: o.Engine})
+			burst += ns - m
+		}
+		memory += m
+		p := scaleTime(crit.Delta.Active-ns, base, target)
+		pipeline += p
+		pred += iPrime
+		idle += iPrime - (p + m + (ns - m))
+	}
+	return pipeline, memory, burst, idle, pred
+}
+
 // BreakdownEpochs runs the same aggregation as PredictEpochs but keeps
 // per-epoch component attributions instead of only the total. The sum of
 // the returned Pred fields equals PredictEpochs on the same inputs.

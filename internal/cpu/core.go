@@ -73,6 +73,10 @@ type Core struct {
 	period     float64
 	sqDrainPs  float64
 
+	// ff is the sampled-simulation fast-forward mode: when enabled, the
+	// kernel routes eligible blocks through RunFast instead of Run.
+	ff ffState
+
 	// reg, when non-nil, receives miss-cluster and store-queue stall
 	// observations. The nil fast path costs one branch per event
 	// (guarded by TestCoreRunZeroAllocs).

@@ -1,0 +1,116 @@
+package cpu
+
+import (
+	"math"
+
+	"depburst/internal/units"
+)
+
+// FFRates is the steady-state extrapolation model the sampling detector
+// learns from detailed simulation and the core applies while
+// fast-forwarding: the simulated wall time and every counter a detailed
+// block would have produced, per committed instruction.
+type FFRates struct {
+	PsPerInstr float64 // simulated picoseconds per instruction
+
+	// Per-instruction event rates.
+	LoadsL2, LoadsL3, LoadsDRAM float64
+	Stores, StoresDRAM          float64
+
+	// Per-instruction picosecond rates for the time-valued counters.
+	CritPs, LeadPs, StallPs, SQFullPs float64
+}
+
+// ffState is a core's fast-forward mode: the active rates plus the
+// fractional-count carries that keep synthesised counters deterministic
+// and unbiased across blocks of any size.
+type ffState struct {
+	on    bool
+	rates FFRates
+
+	// carries hold the fractional remainders of each synthesised
+	// quantity, indexed by the ffC* constants.
+	carries [10]float64
+
+	// synthReads / synthWrites count the DRAM accesses the skipped
+	// blocks would have made, so the machine can keep DRAM statistics
+	// and energy metering consistent in sampled runs.
+	synthReads, synthWrites uint64
+}
+
+// Carry indices for ffState.carries.
+const (
+	ffCTime = iota
+	ffCLoadsL2
+	ffCLoadsL3
+	ffCLoadsDRAM
+	ffCStores
+	ffCStoresDRAM
+	ffCCrit
+	ffCLead
+	ffCStall
+	ffCSQFull
+)
+
+// SetFastForward switches the core into fast-forward mode with the given
+// extrapolation rates. Carries and synthetic-access tallies persist
+// across re-entries so long runs stay unbiased.
+func (c *Core) SetFastForward(r FFRates) {
+	c.ff.on = true
+	c.ff.rates = r
+}
+
+// ClearFastForward returns the core to detailed simulation.
+func (c *Core) ClearFastForward() { c.ff.on = false }
+
+// FastForwarding reports whether the core is in fast-forward mode.
+func (c *Core) FastForwarding() bool { return c.ff.on }
+
+// SynthDRAM returns the cumulative DRAM reads and writes synthesised by
+// fast-forwarded blocks on this core.
+func (c *Core) SynthDRAM() (reads, writes uint64) {
+	return c.ff.synthReads, c.ff.synthWrites
+}
+
+// ffTake converts a fractional quantity into an integer count, carrying
+// the remainder deterministically across calls.
+func ffTake(carry *float64, x float64) int64 {
+	s := *carry + x
+	n := math.Floor(s)
+	*carry = s - n
+	return int64(n)
+}
+
+// RunFast advances the core past a block of instrs instructions using the
+// fast-forward extrapolation model instead of the event-level interval
+// simulation: time and counters grow at the learned steady-state rates
+// and no memory-hierarchy traffic is generated. Allocation-free — it
+// replaces Run on the hot path of every fast-forwarded quantum.
+//
+//depburst:hotpath
+func (c *Core) RunFast(start units.Time, instrs int64, ctr *Counters) units.Time {
+	ff := &c.ff
+	r := &ff.rates
+	fi := float64(instrs)
+
+	var d Counters
+	d.Instrs = instrs
+	d.LoadsL2 = uint64(ffTake(&ff.carries[ffCLoadsL2], r.LoadsL2*fi))
+	d.LoadsL3 = uint64(ffTake(&ff.carries[ffCLoadsL3], r.LoadsL3*fi))
+	d.LoadsDRAM = uint64(ffTake(&ff.carries[ffCLoadsDRAM], r.LoadsDRAM*fi))
+	d.Stores = uint64(ffTake(&ff.carries[ffCStores], r.Stores*fi))
+	d.StoresDRAM = uint64(ffTake(&ff.carries[ffCStoresDRAM], r.StoresDRAM*fi))
+	d.CritNS = units.Time(ffTake(&ff.carries[ffCCrit], r.CritPs*fi))
+	d.LeadNS = units.Time(ffTake(&ff.carries[ffCLead], r.LeadPs*fi))
+	d.StallNS = units.Time(ffTake(&ff.carries[ffCStall], r.StallPs*fi))
+	d.SQFull = units.Time(ffTake(&ff.carries[ffCSQFull], r.SQFullPs*fi))
+
+	ff.synthReads += d.LoadsDRAM
+	ff.synthWrites += d.StoresDRAM
+
+	ctr.Add(d)
+	c.total.Add(d)
+
+	dur := ffTake(&ff.carries[ffCTime], r.PsPerInstr*fi)
+	return start + units.Time(dur)
+}

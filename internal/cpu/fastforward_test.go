@@ -1,0 +1,95 @@
+package cpu
+
+import (
+	"testing"
+
+	"depburst/internal/units"
+)
+
+var ffTestRates = FFRates{
+	PsPerInstr: 733.3,
+	LoadsL2:    0.031,
+	LoadsL3:    0.0072,
+	LoadsDRAM:  0.0013,
+	Stores:     0.11,
+	StoresDRAM: 0.0009,
+	CritPs:     41.7,
+	LeadPs:     63.2,
+	StallPs:    12.9,
+	SQFullPs:   3.4,
+}
+
+// TestRunFastChunkingInvariant is the fractional-carry guarantee: splitting
+// a fast-forwarded region into blocks of any size must synthesise exactly
+// the same totals and the same end time, because the carries hand the
+// remainders across block boundaries.
+func TestRunFastChunkingInvariant(t *testing.T) {
+	const total = 1_234_567
+	run := func(chunk int64) (Counters, units.Time) {
+		core, _ := testCore(1000 * units.MHz)
+		core.SetFastForward(ffTestRates)
+		var ctr Counters
+		now := units.Time(0)
+		for left := int64(total); left > 0; {
+			n := chunk
+			if n > left {
+				n = left
+			}
+			now = core.RunFast(now, n, &ctr)
+			left -= n
+		}
+		return ctr, now
+	}
+	whole, wholeEnd := run(total)
+	for _, chunk := range []int64{1, 7, 1000, 64_000} {
+		got, end := run(chunk)
+		if got != whole {
+			t.Errorf("chunk %d: counters %+v differ from whole-block %+v", chunk, got, whole)
+		}
+		if end != wholeEnd {
+			t.Errorf("chunk %d: end time %v, whole-block %v", chunk, end, wholeEnd)
+		}
+	}
+	if whole.Instrs != total {
+		t.Errorf("synthesised %d instrs, want %d", whole.Instrs, total)
+	}
+	// The synthesised totals track rate x instrs to within one unit (the
+	// residual stays in the carry).
+	if want := int64(ffTestRates.PsPerInstr * total); int64(wholeEnd) < want-1 || int64(wholeEnd) > want+1 {
+		t.Errorf("end time %d, want ~%d", wholeEnd, want)
+	}
+	if want := uint64(ffTestRates.Stores * total); whole.Stores < want-1 || whole.Stores > want+1 {
+		t.Errorf("stores %d, want ~%d", whole.Stores, want)
+	}
+}
+
+// TestRunFastSynthDRAM checks that the skipped blocks' DRAM traffic is
+// tallied so the machine can fold it into DRAM statistics and energy.
+func TestRunFastSynthDRAM(t *testing.T) {
+	core, _ := testCore(1000 * units.MHz)
+	core.SetFastForward(ffTestRates)
+	var ctr Counters
+	core.RunFast(0, 1_000_000, &ctr)
+	reads, writes := core.SynthDRAM()
+	if reads != ctr.LoadsDRAM || writes != ctr.StoresDRAM {
+		t.Errorf("SynthDRAM = (%d,%d), counters say (%d,%d)",
+			reads, writes, ctr.LoadsDRAM, ctr.StoresDRAM)
+	}
+	if reads == 0 || writes == 0 {
+		t.Errorf("no DRAM traffic synthesised: reads %d writes %d", reads, writes)
+	}
+}
+
+// TestRunFastAllocs guards the fast path: RunFast replaces Run for every
+// fast-forwarded block and must not allocate.
+func TestRunFastAllocs(t *testing.T) {
+	core, _ := testCore(1000 * units.MHz)
+	core.SetFastForward(ffTestRates)
+	var ctr Counters
+	now := units.Time(0)
+	if n := testing.AllocsPerRun(1000, func() {
+		now = core.RunFast(now, 64_000, &ctr)
+	}); n != 0 {
+		t.Fatalf("RunFast allocates %.1f times per block, want 0", n)
+	}
+}

@@ -22,6 +22,10 @@ const (
 // bounded (~8 µs at 1 GHz, IPC 2).
 const maxBlockInstrs = 16_000
 
+// ffBlockInstrs caps one fast-forwarded chunk (~one sampling quantum of
+// typical steady-state progress).
+const ffBlockInstrs = 64_000
+
 // Workload adapts a Spec to sim.Workload.
 type Workload struct {
 	Spec Spec
@@ -190,8 +194,10 @@ func (w *Workload) queueLoop(e *kernel.Env, m *sim.Machine, s Spec, st *shared,
 		}
 		for cs := 0; cs < s.CSPerItem; cs++ {
 			e.Lock(&st.sharedMu)
-			trace.FillBlock(blk, prof, s.CSInstrs, r)
-			e.Compute(blk)
+			if !e.FastCompute(s.CSInstrs) {
+				trace.FillBlock(blk, prof, s.CSInstrs, r)
+				e.ComputeSampled(blk)
+			}
 			e.Unlock(&st.sharedMu)
 		}
 	}
@@ -211,15 +217,24 @@ func (w *Workload) actorLoop(e *kernel.Env, m *sim.Machine, s Spec, st *shared,
 	}
 }
 
-// computeChunked simulates n instructions in bounded blocks.
+// computeChunked simulates n instructions in bounded blocks. Each chunk
+// goes through the sampled-simulation gate: in fast-forward mode the core
+// extrapolates it (no trace generation, no memory events); otherwise it is
+// built and simulated in detail and feeds the fast-forward rate pool.
 func (w *Workload) computeChunked(e *kernel.Env, blk *cpu.Block, prof trace.Profile, n int64, r *rng.Source) {
 	for n > 0 {
-		c := n
-		if c > maxBlockInstrs {
-			c = maxBlockInstrs
+		// Fast-forwarded chunks run coarser than detailed ones: the
+		// extrapolation is O(1) per chunk, so the cap only needs to keep
+		// one chunk within roughly a sampling quantum (so per-quantum
+		// counter attribution stays meaningful), not tight enough for
+		// detailed thread-interleaving skew.
+		if c := min(n, ffBlockInstrs); e.FastCompute(c) {
+			n -= c
+			continue
 		}
+		c := min(n, maxBlockInstrs)
 		trace.FillBlock(blk, prof, c, r)
-		e.Compute(blk)
+		e.ComputeSampled(blk)
 		n -= c
 	}
 }

@@ -27,6 +27,7 @@ import (
 
 	"depburst/internal/core"
 	"depburst/internal/dacapo"
+	"depburst/internal/sampling"
 	"depburst/internal/sim"
 	"depburst/internal/simcache"
 	"depburst/internal/units"
@@ -324,6 +325,29 @@ func (r *Runner) SetWorkers(n int) {
 
 // Workers reports the pool size.
 func (r *Runner) Workers() int { return r.workers }
+
+// SetSampling installs a sampled-simulation policy on the Runner's base
+// machine configuration. Every subsequent simulation the Runner launches
+// runs under the policy; results carry the sampled error-bound report and
+// the policy enters both the in-memory memo (a Runner holds exactly one
+// policy) and the persistent cache's content key (the policy is part of
+// sim.Config), so sampled and full-detail results can never alias. Call
+// before launching work.
+func (r *Runner) SetSampling(p sampling.Policy) { r.Base.Sampling = p.Normalized() }
+
+// Sampling returns the Runner's sampled-simulation policy (zero value:
+// full detail).
+func (r *Runner) Sampling() sampling.Policy { return r.Base.Sampling }
+
+// WithSampling returns a Runner sharing this Runner's worker pool, disk
+// cache and simulation counter, but with independent memo tables and the
+// given sampling policy — the per-policy isolation the prediction service
+// uses so one process can serve both sampled and full-detail requests.
+func (r *Runner) WithSampling(p sampling.Policy) *Runner {
+	nr := r.fork()
+	nr.Base.Sampling = p.Normalized()
+	return nr
+}
 
 // fork returns a Runner with the same Base and the same worker pool but an
 // independent memo cache — used by experiments that vary the machine (other

@@ -1,0 +1,191 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"reflect"
+	"strings"
+	"testing"
+
+	"depburst/internal/dacapo"
+	"depburst/internal/sampling"
+	"depburst/internal/simcache"
+	"depburst/internal/units"
+)
+
+// sampledRunner returns a runner with the default sampling policy and the
+// given worker count.
+func sampledRunner(workers int) *Runner {
+	r := NewRunnerWorkers(workers)
+	r.SetSampling(sampling.DefaultPolicy())
+	return r
+}
+
+// TestSampledErrorBound is the accuracy contract of sampled simulation:
+// each run reports an error bound, and the observed completion-time error
+// against the full-detail run must stay inside it. CI sweeps the whole
+// Figure 1 matrix through `depburst samplecheck`; this test keeps a small
+// always-on slice of the property in the unit suite.
+func TestSampledErrorBound(t *testing.T) {
+	full := NewRunnerWorkers(1)
+	sampled := sampledRunner(1)
+	for _, name := range []string{"pmd.scale", "lusearch.fix"} {
+		spec, err := dacapo.ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, f := range []int{1000, 4000} {
+			ft := full.Truth(spec, units.Freq(f))
+			st := sampled.Truth(spec, units.Freq(f))
+			if ft.Sampling != nil {
+				t.Fatalf("%s@%d: full-detail run carries a sampling report", name, f)
+			}
+			rep := st.Sampling
+			if rep == nil {
+				t.Fatalf("%s@%d: sampled run carries no sampling report", name, f)
+			}
+			if rep.FastQuanta == 0 {
+				t.Errorf("%s@%d: sampled run never fast-forwarded", name, f)
+			}
+			p := rep.Policy
+			if rep.ErrorBound <= 0 || rep.ErrorBound > p.SafetyFactor*p.Tolerance {
+				t.Errorf("%s@%d: error bound %v outside (0, %v]",
+					name, f, rep.ErrorBound, p.SafetyFactor*p.Tolerance)
+			}
+			relErr := math.Abs(float64(st.Time)-float64(ft.Time)) / float64(ft.Time)
+			if relErr > rep.ErrorBound {
+				t.Errorf("%s@%d: observed error %.3f exceeds reported bound %.3f (full %v, sampled %v)",
+					name, f, relErr, rep.ErrorBound, ft.Time, st.Time)
+			}
+		}
+	}
+}
+
+// renderSampledSet renders the truth-run-driven figures under the default
+// sampling policy, exactly as `depburst -sample fig1 fig3a` would.
+func renderSampledSet(r *Runner) string {
+	var b strings.Builder
+	r.Fig1().Fprint(&b)
+	r.Fig3a().Fprint(&b)
+	return b.String()
+}
+
+// TestSampledDeterminism extends the engine's byte-identity wall to sampled
+// mode: the phase detector and fast-forward extrapolation live entirely
+// inside one simulation's single-threaded event loop, so rendered output
+// must be byte-identical between -j 1 and -j 8, across repeated runs, and
+// between a cold disk cache and a warm one.
+func TestSampledDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long integration experiment")
+	}
+	serial := renderSampledSet(sampledRunner(1))
+	parallel := renderSampledSet(sampledRunner(8))
+	if serial != parallel {
+		d := firstDiff(serial, parallel)
+		t.Fatalf("sampled output diverges between -j 1 and -j 8 at byte %d:\nserial:   %q\nparallel: %q",
+			d, window(serial, d), window(parallel, d))
+	}
+	if len(serial) == 0 {
+		t.Fatal("sampled experiment set rendered nothing")
+	}
+
+	st, err := simcache.Open(t.TempDir(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	coldRunner := sampledRunner(1)
+	coldRunner.SetDiskCache(st)
+	cold := renderSampledSet(coldRunner)
+	if cold != serial {
+		t.Fatal("attaching a disk cache changed sampled output")
+	}
+	if st.Stats().Puts == 0 {
+		t.Fatal("cold sampled render wrote no cache entries")
+	}
+	pre := st.Stats()
+	warmRunner := sampledRunner(8)
+	warmRunner.SetDiskCache(st)
+	warm := renderSampledSet(warmRunner)
+	if warm != cold {
+		d := firstDiff(cold, warm)
+		t.Fatalf("warm sampled render diverges from cold at byte %d:\ncold: %q\nwarm: %q",
+			d, window(cold, d), window(warm, d))
+	}
+	post := st.Stats()
+	if post.Hits == pre.Hits {
+		t.Fatal("warm sampled render never hit the cache")
+	}
+	if post.Puts != pre.Puts {
+		t.Fatalf("warm sampled render re-simulated %d runs", post.Puts-pre.Puts)
+	}
+}
+
+// TestSamplingKeyDiscrimination audits the persistent cache key: every
+// field of the sampling policy must enter it, so results simulated under
+// different policies (or under full detail) can never alias. The test
+// perturbs each field by reflection — a field added to Policy without
+// reaching the key fails here automatically.
+func TestSamplingKeyDiscrimination(t *testing.T) {
+	st, err := simcache.Open(t.TempDir(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec, err := dacapo.ByName("pmd.scale")
+	if err != nil {
+		t.Fatal(err)
+	}
+	keyFor := func(p sampling.Policy) string {
+		r := NewRunnerWorkers(1)
+		r.SetDiskCache(st)
+		r.SetSampling(p)
+		cfg := r.Base
+		cfg.Freq = 1000
+		spec.Configure(&cfg)
+		key, ok := r.diskKey("truth", cfg, spec)
+		if !ok {
+			t.Fatal("diskKey failed to encode the configuration")
+		}
+		return key
+	}
+
+	keys := map[string]string{
+		"full-detail": keyFor(sampling.Policy{}),
+		"default":     keyFor(sampling.DefaultPolicy()),
+	}
+	base := sampling.DefaultPolicy()
+	rv := reflect.ValueOf(base)
+	for i := 0; i < rv.NumField(); i++ {
+		field := rv.Type().Field(i)
+		p := base
+		fv := reflect.ValueOf(&p).Elem().Field(i)
+		switch fv.Kind() {
+		case reflect.Bool:
+			fv.SetBool(!fv.Bool())
+		case reflect.Int:
+			fv.SetInt(fv.Int() + 1)
+		case reflect.Float64:
+			fv.SetFloat(fv.Float() * 1.5)
+		default:
+			t.Fatalf("Policy.%s has kind %v the perturbation audit does not cover; extend it",
+				field.Name, fv.Kind())
+		}
+		name := fmt.Sprintf("perturbed %s", field.Name)
+		if field.Name == "Enabled" {
+			// Flipping Enabled lands on the full-detail key, which is
+			// already present — the pair that MUST collide.
+			if keyFor(p) != keys["full-detail"] {
+				t.Errorf("disabled policy key differs from full-detail key")
+			}
+			continue
+		}
+		keys[name] = keyFor(p)
+	}
+	seen := map[string]string{}
+	for name, key := range keys {
+		if prev, dup := seen[key]; dup {
+			t.Errorf("cache key for %q aliases %q", name, prev)
+		}
+		seen[key] = name
+	}
+}

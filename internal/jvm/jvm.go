@@ -222,6 +222,11 @@ func (j *JVM) markLabel(base string) string {
 // Stats returns collector statistics accumulated so far.
 func (j *JVM) Stats() Stats { return j.stats }
 
+// InGC reports that a collection is requested or in progress — the
+// sampled-simulation detector drops back to detailed simulation while it
+// holds.
+func (j *JVM) InGC() bool { return j.gcRequested || j.gcActive }
+
 // SetMetrics attaches a per-run observability registry (nil disables).
 func (j *JVM) SetMetrics(reg *metrics.Registry) { j.reg = reg }
 
@@ -280,8 +285,21 @@ func (j *JVM) refill(e *kernel.Env, tl *TLAB, bytes int64) {
 		}
 		base := j.nurseryBase + mem.Addr(j.nurseryUsed)
 		j.nurseryUsed += size
-		trace.FillZeroInit(&tl.blk, base, size, 2.0)
-		e.Compute(&tl.blk)
+		// The zero-init burst is steady-state application-thread work:
+		// under sampled simulation it fast-forwards with the learned
+		// rates (heap accounting above is untouched, so collection
+		// cadence is preserved); in detailed mode it feeds the
+		// fast-forward rate pool alongside the compute blocks it is
+		// interleaved with.
+		if e.FastCompute(trace.ZeroInitInstrs(size)) {
+			// The burst's timing was extrapolated; apply its cache-state
+			// effect cheaply so the (always detailed) collector later
+			// reads survivors from cache, as it would in a full run.
+			j.hier.InstallRange(base, size)
+		} else {
+			trace.FillZeroInit(&tl.blk, base, size, 2.0)
+			e.ComputeSampled(&tl.blk)
+		}
 		tl.base, tl.size, tl.used = base, size, bytes
 		return
 	}

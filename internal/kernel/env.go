@@ -66,6 +66,43 @@ func (e *Env) Compute(b *cpu.Block) {
 	t.yield(yieldOp)
 }
 
+// ComputeSampled simulates blk like Compute and additionally accrues the
+// block's counters and simulated time into the kernel's fast-forward rate
+// pool. Workloads use it for the bulk compute that sampled simulation may
+// replace with extrapolation, so the sampling detector learns its rates
+// from exactly the class of work fast-forward mode skips.
+func (e *Env) ComputeSampled(b *cpu.Block) {
+	t := e.t
+	if e.k.cfg.ValidateBlocks {
+		if err := b.Validate(); err != nil {
+			panic("kernel: " + t.name + ": " + err.Error())
+		}
+	}
+	pre := t.ctr
+	start := t.now
+	t.now = e.k.cores[t.core].Run(t.now, b, &t.ctr)
+	e.k.ffPool.Add(t.ctr.Sub(pre))
+	e.k.ffPoolTime += t.now - start
+	t.yield(yieldOp)
+}
+
+// FastCompute simulates n instructions through the core's fast-forward
+// extrapolation model when the calling application thread's core is in
+// fast-forward mode, reporting whether it did. When it returns false the
+// caller must build and simulate a detailed block instead (the
+// ComputeSampled path). Service threads (GC, JIT) never fast-forward:
+// their bursts are exactly what the sampled mode must keep detailed.
+func (e *Env) FastCompute(n int64) bool {
+	t := e.t
+	c := e.k.cores[t.core]
+	if t.class != ClassApp || !c.FastForwarding() {
+		return false
+	}
+	t.now = c.RunFast(t.now, n, &t.ctr)
+	t.yield(yieldOp)
+	return true
+}
+
 // Advance moves the thread's local time forward by d without simulating
 // instructions (pure think/IO time; it scales with nothing).
 func (e *Env) Advance(d units.Time) {

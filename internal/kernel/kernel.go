@@ -51,6 +51,14 @@ type Kernel struct {
 	// instance uses one to detect that its world has stopped.
 	onPark []func(now units.Time)
 
+	// ffPool / ffPoolTime accumulate the counters and simulated time of
+	// exactly the detailed blocks that sampled simulation's fast-forward
+	// mode replaces (those submitted via Env.ComputeSampled). The sampling
+	// detector learns its extrapolation rates from this pool's per-quantum
+	// growth.
+	ffPool     cpu.Counters
+	ffPoolTime units.Time
+
 	// abortErr, once set by Abort, makes Run stop before its next event,
 	// kill the remaining threads and return the error.
 	abortErr error
@@ -71,6 +79,11 @@ func New(eng *event.Engine, cores []*cpu.Core, cfg Config) *Kernel {
 	}
 	return k
 }
+
+// FFPool returns the cumulative fast-forward rate pool: the counter
+// deltas and simulated time of every block submitted via
+// Env.ComputeSampled while detailed simulation was active.
+func (k *Kernel) FFPool() (cpu.Counters, units.Time) { return k.ffPool, k.ffPoolTime }
 
 // Recorder returns the epoch recorder for this kernel.
 func (k *Kernel) Recorder() *Recorder { return k.recorder }

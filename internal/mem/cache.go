@@ -185,6 +185,64 @@ func (c *Cache) Invalidate(addr Addr) (present, dirty bool) {
 	return false, false
 }
 
+// InvalidateRange drops every line in [base, base+size) from the cache —
+// identical in effect to calling Invalidate on each line address, but when
+// the range spans more lines than the cache holds it walks the tag array
+// instead of the address range, so the cost is O(min(range lines, cache
+// lines)) rather than O(range lines). Recycling a multi-megabyte nursery
+// against a few hundred kilobytes of cache is the case that matters.
+func (c *Cache) InvalidateRange(base Addr, size int64) {
+	if size <= 0 {
+		return
+	}
+	lo := base.Line()
+	hi := base + Addr(size)
+	// A per-line probe scans a whole set (ways entries, usually without a
+	// match); the tag-array walk touches every line entry exactly once.
+	if int64(hi-lo)/LineSize*int64(c.ways) < int64(len(c.lines)) {
+		for a := lo; a < hi; a += LineSize {
+			c.Invalidate(a)
+		}
+		return
+	}
+	for i := range c.lines {
+		ln := &c.lines[i]
+		if !ln.valid {
+			continue
+		}
+		if a := c.reconstruct(ln.tag, uint64(i/c.ways)); a >= lo && a < hi {
+			*ln = cacheLine{}
+		}
+	}
+}
+
+// InstallRange primes every line in [base, base+size) as present, dirty and
+// most-recently-used, without generating writebacks for replaced victims and
+// without touching hit/miss statistics. It exists for sampled simulation's
+// fast-forward path — bulk-priming freshly zero-initialised allocation
+// ranges so a later detailed collection sees warm cache state — and must
+// not be used on detailed timing paths.
+//
+// The victim way is a fixed hash of the line number rather than the LRU
+// scan Access performs, making the install O(1) per line; refill bursts
+// install megabytes at a time, so the scan would dominate the fast path it
+// exists to serve. The caller must guarantee the lines are not already
+// present (the range was recycled via InvalidateRange and not re-touched),
+// or duplicate tags would result.
+func (c *Cache) InstallRange(base Addr, size int64) {
+	if size <= 0 {
+		return
+	}
+	hi := base + Addr(size)
+	for a := base.Line(); a < hi; a += LineSize {
+		ln := uint64(a) >> lineShift
+		tag := ln >> c.setShift
+		c.lruClock++
+		way := int(tag) % c.ways
+		c.lines[int(ln&c.setMask)*c.ways+way] = cacheLine{tag: tag, valid: true, dirty: true, lru: c.lruClock}
+	}
+}
+
 // Flush invalidates the entire cache, returning the number of dirty lines
 // discarded.
 func (c *Cache) Flush() (dirty int) {

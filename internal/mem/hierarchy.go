@@ -189,10 +189,18 @@ func (h *Hierarchy) fillL3(now units.Time, addr Addr, dirty bool) {
 // The garbage collector uses this when recycling an address range (e.g. the
 // nursery after a collection): a fresh allocation must not hit stale lines.
 func (h *Hierarchy) InvalidateRange(base Addr, size int64) {
-	for a := base.Line(); a < base+Addr(size); a += LineSize {
-		for _, c := range h.l2 {
-			c.Invalidate(a)
-		}
-		h.l3.Invalidate(a)
+	for _, c := range h.l2 {
+		c.InvalidateRange(base, size)
 	}
+	h.l3.InvalidateRange(base, size)
+}
+
+// InstallRange primes every line in [base, base+size) into the shared L3
+// as present and dirty, without timing, statistics, or writeback traffic.
+// Sampled simulation uses it when fast-forwarding a zero-init burst: the
+// stores' cache-state effect is applied cheaply so a later detailed
+// collection reads survivors from cache rather than from a DRAM the
+// detailed run would never have touched.
+func (h *Hierarchy) InstallRange(base Addr, size int64) {
+	h.l3.InstallRange(base, size)
 }

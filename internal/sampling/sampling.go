@@ -1,0 +1,490 @@
+// Package sampling implements live, online-sampled simulation in the
+// Pac-Sim mold: an online phase detector fingerprints every sampling
+// quantum from the counter vectors the machine already collects, declares
+// steady state when K matching quanta accumulate for a phase, and
+// switches the simulator into a fast-forward mode that extrapolates the
+// interval model's own per-epoch attribution instead of stepping every
+// memory event. The detector drops back to detailed simulation when the
+// fingerprint drifts at a periodic check quantum or when a DVFS
+// transition fires; quanta touched by a garbage collection are excluded
+// from detection (the collector itself always simulates in detail).
+//
+// The package deliberately has no dependency on the machine assembly
+// (sim imports sampling, not the other way around): the detector consumes
+// primitive observations — counter deltas, epoch slices, block-pool
+// statistics — and publishes a decision plus the learned extrapolation
+// rates (cpu.FFRates) that the cores apply.
+package sampling
+
+import (
+	"depburst/internal/core"
+	"depburst/internal/cpu"
+	"depburst/internal/kernel"
+	"depburst/internal/units"
+)
+
+// Policy configures sampled simulation. The zero value disables sampling
+// entirely (full-detail simulation, byte-identical to a build without this
+// package). Field values are part of the persistent result-cache content
+// key: any change produces results that can never alias a different
+// policy's.
+type Policy struct {
+	// Enabled turns sampled simulation on.
+	Enabled bool `json:"enabled"`
+	// K is the number of matching quanta a phase must accumulate before
+	// it may be fast-forwarded (default 6).
+	K int `json:"k,omitempty"`
+	// Tolerance is the per-dimension match tolerance for quantum
+	// signatures against a phase's running mean: relative for rate
+	// dimensions (CPI, DRAM/KI), absolute for the attribution fractions
+	// (default 0.25 — individual quantum signatures are noisy; the phase
+	// means they are matched against are not).
+	Tolerance float64 `json:"tolerance,omitempty"`
+	// CheckInterval forces one detailed check quantum after every
+	// CheckInterval fast-forwarded quanta, bounding undetected drift
+	// (default 24).
+	CheckInterval int `json:"check_interval,omitempty"`
+	// SafetyFactor scales Tolerance × fast-forwarded-time-fraction into
+	// the reported error bound (default 1).
+	SafetyFactor float64 `json:"safety_factor,omitempty"`
+}
+
+// DefaultPolicy returns the enabled policy with the documented defaults.
+func DefaultPolicy() Policy {
+	return Policy{Enabled: true, K: 6, Tolerance: 0.25, CheckInterval: 24, SafetyFactor: 1}
+}
+
+// Normalized fills unset tunables with their defaults when the policy is
+// enabled, and zeroes every tunable when it is not, so equal effective
+// policies compare (and hash) equal.
+func (p Policy) Normalized() Policy {
+	if !p.Enabled {
+		return Policy{}
+	}
+	d := DefaultPolicy()
+	if p.K <= 0 {
+		p.K = d.K
+	}
+	if p.Tolerance <= 0 {
+		p.Tolerance = d.Tolerance
+	}
+	if p.CheckInterval <= 0 {
+		p.CheckInterval = d.CheckInterval
+	}
+	if p.SafetyFactor <= 0 {
+		p.SafetyFactor = d.SafetyFactor
+	}
+	return p
+}
+
+// Signature is one quantum's phase fingerprint: machine-wide rate and
+// attribution dimensions that are stable inside a program phase and move
+// when the phase changes. The first two are rates (matched relatively),
+// the remaining four are fractions of the quantum (matched absolutely).
+type Signature struct {
+	// CPI is cycles per committed instruction over the threads' active
+	// time.
+	CPI float64
+	// DRAMPerKI is DRAM accesses per thousand committed instructions.
+	DRAMPerKI float64
+	// BusyFrac is the cores' active fraction of the quantum.
+	BusyFrac float64
+	// MemFrac, BurstFrac, IdleFrac are the DEP+BURST per-epoch
+	// attribution (core.SumBreakdownEpochs) of the quantum's epochs,
+	// normalised by predicted time: the non-scaling memory share, the
+	// store-burst share, and the idle share.
+	MemFrac, BurstFrac, IdleFrac float64
+}
+
+func (s *Signature) add(o Signature) {
+	s.CPI += o.CPI
+	s.DRAMPerKI += o.DRAMPerKI
+	s.BusyFrac += o.BusyFrac
+	s.MemFrac += o.MemFrac
+	s.BurstFrac += o.BurstFrac
+	s.IdleFrac += o.IdleFrac
+}
+
+func (s Signature) scale(f float64) Signature {
+	s.CPI *= f
+	s.DRAMPerKI *= f
+	s.BusyFrac *= f
+	s.MemFrac *= f
+	s.BurstFrac *= f
+	s.IdleFrac *= f
+	return s
+}
+
+// Quantum is one closed sampling quantum's observation, assembled by the
+// machine from state it already tracks. Epochs must be the recorder
+// sub-slice of epochs that ended inside the quantum.
+type Quantum struct {
+	Dur    units.Time
+	Freq   units.Freq
+	Delta  cpu.Counters // all threads' counter deltas over the quantum
+	DRAM   uint64       // DRAM accesses in the quantum
+	Epochs []kernel.Epoch
+
+	// PoolDelta / PoolTime are the quantum's growth of the kernel's
+	// fast-forward rate pool: counters and simulated time of exactly the
+	// detailed blocks that fast-forward mode would have replaced.
+	PoolDelta cpu.Counters
+	PoolTime  units.Time
+
+	// GCCount is the cumulative collection count across every runtime
+	// instance; InGC reports a collection in progress at the quantum
+	// boundary. Transitions is the machine's cumulative DVFS transition
+	// count.
+	GCCount     int64
+	InGC        bool
+	Transitions int
+
+	// Fast reports that the quantum just closed executed in fast-forward
+	// mode (its Delta is partly synthesised).
+	Fast bool
+}
+
+// phaseEntry is one learned program phase: the running mean of its
+// signature and the accumulated rate pool its extrapolation model derives
+// from. A small fixed table of these lets alternating phases (the
+// memory-heavy / memory-light item phases the benchmarks model) resume
+// fast-forwarding after a single detailed quantum instead of relearning
+// from scratch at every flip.
+type phaseEntry struct {
+	used     bool
+	sum      Signature // sum of member signatures
+	n        int       // member quanta
+	win      cpu.Counters
+	winTime  units.Time
+	lastSeen int // detector quantum index of last membership
+}
+
+func (p *phaseEntry) mean() Signature { return p.sum.scale(1 / float64(p.n)) }
+
+// numPhases is the phase-table size: enough for the base/alternate phase
+// pairs the workloads exhibit plus a transient, small enough to scan
+// every quantum for free.
+const numPhases = 4
+
+// Detector is the online phase detector. It is driven once per sampling
+// quantum from the machine's single-threaded event loop; Observe is
+// allocation-free (guarded by a testing.AllocsPerRun test) so sampled
+// runs pay no per-quantum GC tax.
+type Detector struct {
+	p     Policy
+	cores int
+
+	table [numPhases]phaseEntry
+	cur   int  // active phase hypothesis (index into table)
+	have  bool // table[cur] is live
+
+	rates    cpu.FFRates
+	fast     bool // next quantum runs fast-forwarded
+	checking bool // next detailed quantum is a steady-state check
+	fastRun  int  // fast quanta since the last detailed one
+
+	lastGC    int64
+	lastTrans int
+
+	// Report statistics.
+	total, fastQ, drops, phases, gcQ int
+	totalTime, fastTime              units.Time
+}
+
+// NewDetector builds a detector for a machine with the given core count.
+// The policy is normalised first.
+func NewDetector(p Policy, cores int) *Detector {
+	if cores < 1 {
+		cores = 1
+	}
+	return &Detector{p: p.Normalized(), cores: cores}
+}
+
+// Policy returns the detector's normalised policy.
+func (d *Detector) Policy() Policy { return d.p }
+
+// Rates returns the extrapolation model learned for the current phase.
+// Meaningful only while Observe returns true.
+func (d *Detector) Rates() cpu.FFRates { return d.rates }
+
+// signature fingerprints one detailed quantum. ok is false when the
+// quantum carries too little signal to fingerprint (an idle quantum).
+func (d *Detector) signature(q Quantum) (Signature, bool) {
+	if q.Dur <= 0 || q.Delta.Instrs <= 0 || q.Delta.Active <= 0 {
+		return Signature{}, false
+	}
+	var s Signature
+	cycles := q.Delta.Active.Seconds() * q.Freq.Hz()
+	s.CPI = cycles / float64(q.Delta.Instrs)
+	s.DRAMPerKI = float64(q.DRAM) * 1000 / float64(q.Delta.Instrs)
+	s.BusyFrac = float64(q.Delta.Active) / (float64(q.Dur) * float64(d.cores))
+	// The interval model's own attribution of the quantum's epochs: how
+	// much of the predicted time is non-scaling memory, store-burst, and
+	// idle. base == target keeps the attribution on the measured
+	// timeline.
+	_, mem, burst, idle, pred := core.SumBreakdownEpochs(
+		q.Epochs, q.Freq, q.Freq, core.Options{Burst: true})
+	if pred > 0 {
+		fp := float64(pred)
+		s.MemFrac = float64(mem) / fp
+		s.BurstFrac = float64(burst) / fp
+		s.IdleFrac = float64(idle) / fp
+	}
+	return s, true
+}
+
+// relMatch reports |a-b| <= tol × max(|a|,|b|,floor).
+func relMatch(a, b, tol, floor float64) bool {
+	diff := a - b
+	if diff < 0 {
+		diff = -diff
+	}
+	scale := a
+	if b > scale {
+		scale = b
+	}
+	if floor > scale {
+		scale = floor
+	}
+	return diff <= tol*scale
+}
+
+// absMatch reports |a-b| <= tol (for fraction dimensions).
+func absMatch(a, b, tol float64) bool {
+	diff := a - b
+	if diff < 0 {
+		diff = -diff
+	}
+	return diff <= tol
+}
+
+// matches reports whether sig agrees with a phase mean within the policy
+// tolerance on every dimension.
+func (d *Detector) matches(mean, sig Signature) bool {
+	tol := d.p.Tolerance
+	return relMatch(mean.CPI, sig.CPI, tol, 0.1) &&
+		relMatch(mean.DRAMPerKI, sig.DRAMPerKI, tol, 1) &&
+		absMatch(mean.BusyFrac, sig.BusyFrac, tol) &&
+		absMatch(mean.MemFrac, sig.MemFrac, tol) &&
+		absMatch(mean.BurstFrac, sig.BurstFrac, tol) &&
+		absMatch(mean.IdleFrac, sig.IdleFrac, tol)
+}
+
+// classify finds the phase-table entry sig belongs to, preferring the
+// current hypothesis, or -1 when it matches no known phase.
+func (d *Detector) classify(sig Signature) int {
+	if d.have && d.matches(d.table[d.cur].mean(), sig) {
+		return d.cur
+	}
+	for i := range d.table {
+		e := &d.table[i]
+		if !e.used || (d.have && i == d.cur) {
+			continue
+		}
+		if d.matches(e.mean(), sig) {
+			return i
+		}
+	}
+	return -1
+}
+
+// adopt folds one detailed quantum into phase entry i and makes it the
+// current hypothesis.
+func (d *Detector) adopt(i int, sig Signature, q Quantum) {
+	e := &d.table[i]
+	e.sum.add(sig)
+	e.n++
+	e.win.Add(q.PoolDelta)
+	e.winTime += q.PoolTime
+	e.lastSeen = d.total
+	d.cur = i
+	d.have = true
+}
+
+// newPhase claims a table slot (an unused one, else the least recently
+// seen) for a previously unseen signature.
+func (d *Detector) newPhase(sig Signature, q Quantum) {
+	slot := 0
+	for i := range d.table {
+		e := &d.table[i]
+		if !e.used {
+			slot = i
+			break
+		}
+		if e.lastSeen < d.table[slot].lastSeen {
+			slot = i
+		}
+	}
+	d.table[slot] = phaseEntry{used: true}
+	d.adopt(slot, sig, q)
+}
+
+// learn recomputes the extrapolation rates from the current phase's rate
+// pool. It reports whether the pool carries enough signal to extrapolate.
+func (d *Detector) learn() bool {
+	e := &d.table[d.cur]
+	if e.win.Instrs <= 0 || e.winTime <= 0 {
+		return false
+	}
+	n := float64(e.win.Instrs)
+	d.rates = cpu.FFRates{
+		PsPerInstr: float64(e.winTime) / n,
+		LoadsL2:    float64(e.win.LoadsL2) / n,
+		LoadsL3:    float64(e.win.LoadsL3) / n,
+		LoadsDRAM:  float64(e.win.LoadsDRAM) / n,
+		Stores:     float64(e.win.Stores) / n,
+		StoresDRAM: float64(e.win.StoresDRAM) / n,
+		CritPs:     float64(e.win.CritNS) / n,
+		LeadPs:     float64(e.win.LeadNS) / n,
+		StallPs:    float64(e.win.StallNS) / n,
+		SQFullPs:   float64(e.win.SQFull) / n,
+	}
+	return d.rates.PsPerInstr > 0
+}
+
+// steady reports whether the current phase has accumulated enough
+// evidence to fast-forward, refreshing the rates when it has.
+func (d *Detector) steady() bool {
+	return d.have && d.table[d.cur].n >= d.p.K && d.learn()
+}
+
+// Observe ingests one closed quantum and decides the mode for the next:
+// true means the cores should fast-forward with Rates(), false means
+// detailed simulation.
+func (d *Detector) Observe(q Quantum) bool {
+	d.total++
+	d.totalTime += q.Dur
+	if q.Fast {
+		d.fastQ++
+		d.fastTime += q.Dur
+	}
+
+	// A DVFS transition changes the timing base every learned rate is
+	// expressed in: discard the phase table and restart detection.
+	if q.Transitions != d.lastTrans {
+		d.lastTrans = q.Transitions
+		d.lastGC = q.GCCount
+		if d.fast || d.checking {
+			d.drops++
+		}
+		d.table = [numPhases]phaseEntry{}
+		d.have = false
+		d.fast = false
+		d.checking = false
+		d.fastRun = 0
+		return false
+	}
+
+	// A quantum a collection touched carries a polluted fingerprint:
+	// exclude it from detection — the current mode holds, nothing is
+	// learned, and a pending steady-state check waits for a clean
+	// quantum. The collector itself always runs in detail either way:
+	// fast-forward only ever replaces application compute.
+	if q.InGC || q.GCCount != d.lastGC {
+		d.lastGC = q.GCCount
+		d.gcQ++
+		if q.Fast {
+			d.fastRun++
+		}
+		return d.fast
+	}
+
+	if q.Fast {
+		// Fast-forwarded quantum: counters are synthetic, nothing to
+		// learn. Schedule the periodic detailed drift check.
+		d.fastRun++
+		if d.fastRun >= d.p.CheckInterval {
+			d.fast = false
+			d.checking = true
+			d.fastRun = 0
+		}
+		return d.fast
+	}
+
+	sig, ok := d.signature(q)
+	if !ok {
+		// An idle quantum carries no phase signal; fast-forwarding
+		// nothing saves nothing, so sit in detailed mode until signal
+		// returns. Learned phases are kept.
+		if d.fast || d.checking {
+			d.drops++
+		}
+		d.fast = false
+		d.checking = false
+		d.fastRun = 0
+		return false
+	}
+
+	wasChecking := d.checking
+	d.checking = false
+	wasFast := d.fast
+
+	if i := d.classify(sig); i >= 0 {
+		// A known phase: the current one (steady state holds) or a
+		// stored alternate (the workload flipped back to a phase it
+		// already taught us; resume fast-forwarding without relearning).
+		if i != d.cur && d.have {
+			d.phases++
+		}
+		d.adopt(i, sig, q)
+	} else {
+		// An unseen signature: start learning a new phase.
+		if wasFast || wasChecking {
+			d.drops++
+		}
+		d.newPhase(sig, q)
+	}
+
+	if d.steady() {
+		if !wasFast {
+			d.fastRun = 0
+		}
+		d.fast = true
+		return true
+	}
+	d.fast = false
+	return false
+}
+
+// Report summarises a finished sampled run: how much simulated time was
+// fast-forwarded and the conservative error bound the extrapolation
+// carries. ErrorBound bounds the relative completion-time error
+// |sampled − full| / full as SafetyFactor × Tolerance × fast-forwarded
+// time fraction (validated by the error-bound property test against the
+// fig1 benchmarks).
+type Report struct {
+	Policy      Policy
+	TotalQuanta int
+	FastQuanta  int
+	GCQuanta    int // quanta excluded from detection because a GC touched them
+	Drops       int // drop-backs from steady state to detailed
+	Phases      int // phase switches after the first phase was established
+	TotalTime   units.Time
+	FastTime    units.Time
+	ErrorBound  float64
+}
+
+// FastFrac returns the fraction of simulated time that was
+// fast-forwarded.
+func (r Report) FastFrac() float64 {
+	if r.TotalTime <= 0 {
+		return 0
+	}
+	return float64(r.FastTime) / float64(r.TotalTime)
+}
+
+// Report returns the detector's run summary.
+func (d *Detector) Report() Report {
+	r := Report{
+		Policy:      d.p,
+		TotalQuanta: d.total,
+		FastQuanta:  d.fastQ,
+		GCQuanta:    d.gcQ,
+		Drops:       d.drops,
+		Phases:      d.phases,
+		TotalTime:   d.totalTime,
+		FastTime:    d.fastTime,
+	}
+	r.ErrorBound = d.p.SafetyFactor * d.p.Tolerance * r.FastFrac()
+	return r
+}

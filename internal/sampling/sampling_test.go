@@ -1,0 +1,252 @@
+package sampling
+
+import (
+	"testing"
+
+	"depburst/internal/cpu"
+	"depburst/internal/units"
+)
+
+// quantum builds one detailed observation with a clean, learnable
+// signature: CPI 1 at the given DRAM intensity (accesses per KI), half the
+// machine busy, and a live rate pool.
+func quantum(dramPerKI float64) Quantum {
+	const instrs = 2_000_000
+	return Quantum{
+		Dur:  units.Time(1e9), // 1 ms
+		Freq: 1000,
+		Delta: cpu.Counters{
+			Instrs: instrs,
+			Active: units.Time(2e9), // 2 core-ms of 4 → BusyFrac 0.5
+		},
+		DRAM: uint64(dramPerKI * instrs / 1000),
+		PoolDelta: cpu.Counters{
+			Instrs: instrs / 2,
+			Stores: 1000,
+		},
+		PoolTime: units.Time(5e8),
+	}
+}
+
+// fastQuantum is the synthetic observation of a fast-forwarded quantum.
+func fastQuantum() Quantum {
+	q := quantum(1)
+	q.Fast = true
+	q.PoolDelta = cpu.Counters{}
+	q.PoolTime = 0
+	return q
+}
+
+func newTestDetector() *Detector { return NewDetector(DefaultPolicy(), 4) }
+
+// reachSteady feeds identical quanta until the detector fast-forwards,
+// failing the test if it never does within the policy's K.
+func reachSteady(t *testing.T, d *Detector, dramPerKI float64) {
+	t.Helper()
+	for i := 0; i < d.Policy().K; i++ {
+		if d.Observe(quantum(dramPerKI)) {
+			return
+		}
+	}
+	if !d.Observe(quantum(dramPerKI)) {
+		t.Fatalf("no steady state after %d matching quanta", d.Policy().K+1)
+	}
+}
+
+func TestNormalized(t *testing.T) {
+	if got := (Policy{}).Normalized(); got != (Policy{}) {
+		t.Errorf("disabled zero policy normalised to %+v", got)
+	}
+	// A disabled policy with junk tunables is the same policy as plain
+	// disabled — they must hash equal in the result cache.
+	if got := (Policy{K: 99, Tolerance: 3}).Normalized(); got != (Policy{}) {
+		t.Errorf("disabled policy kept tunables: %+v", got)
+	}
+	if got := (Policy{Enabled: true}).Normalized(); got != DefaultPolicy() {
+		t.Errorf("enabled empty policy normalised to %+v, want defaults", got)
+	}
+	custom := Policy{Enabled: true, K: 3, Tolerance: 0.5, CheckInterval: 7, SafetyFactor: 2}
+	if got := custom.Normalized(); got != custom {
+		t.Errorf("explicit policy changed under normalisation: %+v", got)
+	}
+}
+
+func TestSteadyStateAfterK(t *testing.T) {
+	d := newTestDetector()
+	k := d.Policy().K
+	for i := 0; i < k-1; i++ {
+		if d.Observe(quantum(1)) {
+			t.Fatalf("fast-forward granted after %d quanta, want %d", i+1, k)
+		}
+	}
+	if !d.Observe(quantum(1)) {
+		t.Fatalf("no fast-forward after %d matching quanta", k)
+	}
+	r := d.Rates()
+	if r.PsPerInstr <= 0 {
+		t.Errorf("steady state with no extrapolation rate: %+v", r)
+	}
+	// PoolTime/PoolDelta.Instrs = 5e8 / 1e6 ps per instr.
+	if want := 500.0; r.PsPerInstr != want {
+		t.Errorf("PsPerInstr = %v, want %v", r.PsPerInstr, want)
+	}
+}
+
+func TestCheckQuantumCadence(t *testing.T) {
+	d := newTestDetector()
+	reachSteady(t, d, 1)
+	ci := d.Policy().CheckInterval
+	for i := 0; i < ci-1; i++ {
+		if !d.Observe(fastQuantum()) {
+			t.Fatalf("dropped out of fast-forward at fast quantum %d", i+1)
+		}
+	}
+	if d.Observe(fastQuantum()) {
+		t.Fatalf("no detailed check scheduled after %d fast quanta", ci)
+	}
+	// The check quantum matches the phase: fast-forward resumes at once,
+	// and the scheduled check is not a drop.
+	if !d.Observe(quantum(1)) {
+		t.Fatal("matching check quantum did not resume fast-forward")
+	}
+	if drops := d.Report().Drops; drops != 0 {
+		t.Errorf("clean check counted as %d drops", drops)
+	}
+}
+
+func TestDriftDropsToDetailed(t *testing.T) {
+	d := newTestDetector()
+	reachSteady(t, d, 1)
+	// A drifted signature (10x the DRAM intensity) at the next detailed
+	// observation: drop, and the new phase must relearn from scratch.
+	if d.Observe(quantum(10)) {
+		t.Fatal("fast-forward survived a drifted signature")
+	}
+	if drops := d.Report().Drops; drops != 1 {
+		t.Errorf("drift counted %d drops, want 1", drops)
+	}
+	for i := 0; i < d.Policy().K-2; i++ {
+		if d.Observe(quantum(10)) {
+			t.Fatalf("new phase fast-forwarded after %d quanta", i+2)
+		}
+	}
+	if !d.Observe(quantum(10)) {
+		t.Fatal("new phase never reached steady state")
+	}
+}
+
+func TestPhaseTableResumesKnownPhase(t *testing.T) {
+	d := newTestDetector()
+	reachSteady(t, d, 1)  // learn phase A
+	reachSteady(t, d, 10) // drift to and learn phase B
+	// Flipping back to A: the single detailed flip-back quantum classifies
+	// against the stored entry and fast-forwarding resumes immediately —
+	// the point of keeping a table instead of a single hypothesis.
+	if !d.Observe(quantum(1)) {
+		t.Fatal("known phase did not resume fast-forward at the flip-back quantum")
+	}
+	if phases := d.Report().Phases; phases < 1 {
+		t.Errorf("phase switches = %d, want >= 1", phases)
+	}
+}
+
+func TestGCQuantaExcluded(t *testing.T) {
+	d := newTestDetector()
+	reachSteady(t, d, 1)
+	// Quanta touched by a collection hold the mode and learn nothing.
+	g := fastQuantum()
+	g.InGC = true
+	if !d.Observe(g) {
+		t.Fatal("GC quantum dropped fast-forward mode")
+	}
+	g = fastQuantum()
+	g.GCCount = 3
+	if !d.Observe(g) {
+		t.Fatal("GC-count change dropped fast-forward mode")
+	}
+	rep := d.Report()
+	if rep.GCQuanta != 2 {
+		t.Errorf("GCQuanta = %d, want 2", rep.GCQuanta)
+	}
+	if rep.Drops != 0 {
+		t.Errorf("GC exclusion counted %d drops", rep.Drops)
+	}
+}
+
+func TestDVFSTransitionResetsTable(t *testing.T) {
+	d := newTestDetector()
+	reachSteady(t, d, 1)
+	q := fastQuantum()
+	q.Transitions = 1
+	if d.Observe(q) {
+		t.Fatal("fast-forward survived a DVFS transition")
+	}
+	// Every learned rate was expressed against the old timing base: the
+	// phase must be relearned in full, not resumed from the table. The
+	// transition count is cumulative, so later quanta keep carrying it.
+	after := func() Quantum { q := quantum(1); q.Transitions = 1; return q }
+	for i := 0; i < d.Policy().K-1; i++ {
+		if d.Observe(after()) {
+			t.Fatalf("phase resumed after %d quanta post-transition", i+1)
+		}
+	}
+	if !d.Observe(after()) {
+		t.Fatal("phase never relearned after the transition")
+	}
+	if drops := d.Report().Drops; drops != 1 {
+		t.Errorf("transition counted %d drops, want 1", drops)
+	}
+}
+
+func TestIdleQuantumDrops(t *testing.T) {
+	d := newTestDetector()
+	reachSteady(t, d, 1)
+	if d.Observe(Quantum{Dur: units.Time(1e9), Freq: 1000}) {
+		t.Fatal("fast-forward survived an idle quantum")
+	}
+	// The table survives an idle spell: one matching quantum resumes.
+	if !d.Observe(quantum(1)) {
+		t.Fatal("known phase did not resume after the idle quantum")
+	}
+}
+
+func TestReportErrorBound(t *testing.T) {
+	d := newTestDetector()
+	reachSteady(t, d, 1)
+	for i := 0; i < 3; i++ {
+		d.Observe(fastQuantum())
+	}
+	rep := d.Report()
+	if rep.TotalQuanta != d.Policy().K+3 {
+		t.Errorf("TotalQuanta = %d, want %d", rep.TotalQuanta, d.Policy().K+3)
+	}
+	if rep.FastQuanta != 3 {
+		t.Errorf("FastQuanta = %d, want 3", rep.FastQuanta)
+	}
+	p := d.Policy()
+	want := p.SafetyFactor * p.Tolerance * rep.FastFrac()
+	if rep.ErrorBound != want {
+		t.Errorf("ErrorBound = %v, want %v", rep.ErrorBound, want)
+	}
+	if rep.FastFrac() <= 0 || rep.FastFrac() >= 1 {
+		t.Errorf("FastFrac = %v, want in (0,1)", rep.FastFrac())
+	}
+}
+
+// TestObserveAllocs guards the per-quantum hot path: Observe runs once per
+// sampling quantum inside the machine's event loop and must never allocate.
+func TestObserveAllocs(t *testing.T) {
+	d := newTestDetector()
+	det, fast := quantum(1), fastQuantum()
+	i := 0
+	if n := testing.AllocsPerRun(1000, func() {
+		if i%2 == 0 {
+			d.Observe(det)
+		} else {
+			d.Observe(fast)
+		}
+		i++
+	}); n != 0 {
+		t.Fatalf("Observe allocates %.1f times per quantum, want 0", n)
+	}
+}

@@ -14,6 +14,8 @@ import (
 	"depburst/internal/dacapo"
 	"depburst/internal/experiments"
 	"depburst/internal/report"
+	"depburst/internal/sampling"
+	"depburst/internal/sim"
 	"depburst/internal/units"
 )
 
@@ -34,15 +36,37 @@ type PredictRequest struct {
 	TargetsMHz []int64      `json:"targets_mhz"`        // required, ascending output order
 	Models     []string     `json:"models,omitempty"`   // default ["dep+burst"]
 	Actual     bool         `json:"actual,omitempty"`   // also simulate each target for rel_error
+
+	// Sampling opts the request into sampled simulation (see DESIGN.md
+	// "Sampled simulation"): its truth runs use online phase detection and
+	// fast-forward extrapolation, trading a machine-reported error bound
+	// for severalfold faster cold predictions. Absent (or enabled=false):
+	// full detail. {"enabled":true} selects the default policy. Sampled
+	// and full-detail results never share cache entries.
+	Sampling *sampling.Policy `json:"sampling,omitempty"`
 }
 
 // PredictResponse is the POST /v1/predict result. Field names are frozen
-// per the /v1 schema policy (DESIGN.md).
+// per the /v1 schema policy (DESIGN.md); Sampling is additive and appears
+// only when the request opted into sampled simulation.
 type PredictResponse struct {
-	Bench       string       `json:"bench"`
-	BaseMHz     int64        `json:"base_mhz"`
-	BaseTimePS  int64        `json:"base_time_ps"`
-	Predictions []Prediction `json:"predictions"`
+	Bench       string           `json:"bench"`
+	BaseMHz     int64            `json:"base_mhz"`
+	BaseTimePS  int64            `json:"base_time_ps"`
+	Predictions []Prediction     `json:"predictions"`
+	Sampling    *PredictSampling `json:"sampling,omitempty"`
+}
+
+// PredictSampling annotates a sampled response with the accuracy the
+// simulations themselves reported.
+type PredictSampling struct {
+	// ErrorBound is the largest relative completion-time error bound any
+	// simulation behind this response reported: every *_ps field is
+	// within it of its full-detail value.
+	ErrorBound float64 `json:"error_bound"`
+	// FastFrac is the fraction of simulated time that was fast-forwarded,
+	// aggregated over those simulations.
+	FastFrac float64 `json:"fast_frac"`
 }
 
 // Prediction is one (model, target) cell.
@@ -147,6 +171,29 @@ func DecodePredictRequest(r io.Reader, limit int64) (*PredictRequest, error) {
 		}
 	}
 	req.Models = norm
+
+	if req.Sampling != nil {
+		p := *req.Sampling
+		switch {
+		case p.K < 0 || p.K > 256:
+			return nil, fmt.Errorf("sampling.k %d outside [0,256]", p.K)
+		case p.Tolerance < 0 || p.Tolerance > 0.5:
+			return nil, fmt.Errorf("sampling.tolerance %v outside [0,0.5]", p.Tolerance)
+		case p.CheckInterval < 0 || p.CheckInterval > 4096:
+			return nil, fmt.Errorf("sampling.check_interval %d outside [0,4096]", p.CheckInterval)
+		case p.SafetyFactor < 0 || p.SafetyFactor > 16:
+			return nil, fmt.Errorf("sampling.safety_factor %v outside [0,16]", p.SafetyFactor)
+		}
+		// Normalise so equal effective policies coalesce (and cache) as
+		// one; an explicitly disabled policy is the same request as no
+		// sampling field at all.
+		p = p.Normalized()
+		if !p.Enabled {
+			req.Sampling = nil
+		} else {
+			*req.Sampling = p
+		}
+	}
 	return &req, nil
 }
 
@@ -227,6 +274,9 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 			s.cfg.Metrics.IncRejected()
 			writeError(w, http.StatusTooManyRequests, "prediction queue full")
 			return
+		case errors.Is(f.err, errPolicyLimit):
+			writeError(w, http.StatusBadRequest, "%v", f.err)
+			return
 		case errors.Is(f.err, context.Canceled) || errors.Is(f.err, context.DeadlineExceeded):
 			if ctx.Err() != nil {
 				// This caller's own deadline/disconnect.
@@ -245,6 +295,10 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 
 // errSaturated marks a flight refused by the backpressure gate.
 var errSaturated = fmt.Errorf("server: saturated")
+
+// errPolicyLimit marks a request refused because it would create a
+// distinct sampling-policy Runner beyond the bound.
+var errPolicyLimit = fmt.Errorf("too many distinct sampling policies")
 
 // leadPredict executes the flight: acquire a worker slot (or refuse when the
 // queue is full), compute, publish, and clear the flight. The flight map
@@ -274,12 +328,42 @@ func (s *Server) leadPredict(ctx context.Context, key string, f *flight, req *Pr
 	f.body, f.err = s.computePredict(ctx, req, spec)
 }
 
+// maxSamplingRunners caps how many distinct sampling policies one process
+// serves: each policy owns an isolated memo table, so an attacker cycling
+// policies must not grow memory without bound.
+const maxSamplingRunners = 8
+
+// runnerFor returns the Runner serving the request's sampling policy: the
+// shared full-detail Runner when the request did not opt in, else a
+// per-policy derivation (shared worker pool, disk cache and simulation
+// counter, isolated memo) that is reused across requests for the same
+// policy.
+func (s *Server) runnerFor(p *sampling.Policy) (*experiments.Runner, error) {
+	if p == nil {
+		return s.cfg.Runner, nil
+	}
+	s.samplers.Lock()
+	defer s.samplers.Unlock()
+	if r, ok := s.samplers.m[*p]; ok {
+		return r, nil
+	}
+	if len(s.samplers.m) >= maxSamplingRunners {
+		return nil, fmt.Errorf("%w (limit %d); reuse an earlier policy", errPolicyLimit, maxSamplingRunners)
+	}
+	r := s.cfg.Runner.WithSampling(*p)
+	s.samplers.m[*p] = r
+	return r, nil
+}
+
 // computePredict runs the base (and, with actual set, target) simulations
 // through the Runner — memoised, singleflight-deduplicated, disk-cached —
 // and assembles the response. The response bytes are a pure function of the
 // request, so cold and warm paths are byte-identical.
 func (s *Server) computePredict(ctx context.Context, req *PredictRequest, spec dacapo.Spec) ([]byte, error) {
-	r := s.cfg.Runner
+	r, err := s.runnerFor(req.Sampling)
+	if err != nil {
+		return nil, err
+	}
 	base, err := r.TruthCtx(ctx, spec, units.Freq(req.BaseMHz))
 	if err != nil {
 		return nil, err
@@ -291,6 +375,8 @@ func (s *Server) computePredict(ctx context.Context, req *PredictRequest, spec d
 		BaseMHz:    req.BaseMHz,
 		BaseTimePS: int64(base.Time),
 	}
+	var agg samplingAgg
+	agg.add(base)
 	for _, name := range req.Models {
 		m, _ := modelFor(name)
 		for _, tgt := range req.TargetsMHz {
@@ -307,9 +393,13 @@ func (s *Server) computePredict(ctx context.Context, req *PredictRequest, spec d
 				p.ActualPS = int64(truth.Time)
 				re := report.RelError(float64(p.PredictedPS), float64(p.ActualPS))
 				p.RelError = &re
+				agg.add(truth)
 			}
 			resp.Predictions = append(resp.Predictions, p)
 		}
+	}
+	if req.Sampling != nil {
+		resp.Sampling = agg.annotation()
 	}
 	var buf bytes.Buffer
 	enc := json.NewEncoder(&buf)
@@ -318,6 +408,33 @@ func (s *Server) computePredict(ctx context.Context, req *PredictRequest, spec d
 		return nil, err
 	}
 	return buf.Bytes(), nil
+}
+
+// samplingAgg accumulates the sampling reports of every simulation behind
+// one response: the largest error bound and the time-weighted
+// fast-forwarded fraction.
+type samplingAgg struct {
+	bound       float64
+	fast, total units.Time
+}
+
+func (a *samplingAgg) add(res *sim.Result) {
+	if res.Sampling == nil {
+		return
+	}
+	if res.Sampling.ErrorBound > a.bound {
+		a.bound = res.Sampling.ErrorBound
+	}
+	a.fast += res.Sampling.FastTime
+	a.total += res.Sampling.TotalTime
+}
+
+func (a *samplingAgg) annotation() *PredictSampling {
+	ps := &PredictSampling{ErrorBound: a.bound}
+	if a.total > 0 {
+		ps.FastFrac = float64(a.fast) / float64(a.total)
+	}
+	return ps
 }
 
 // resolveSpec maps the request's workload selector onto a benchmark spec:

@@ -33,6 +33,7 @@ import (
 	"depburst/internal/experiments"
 	"depburst/internal/metrics"
 	"depburst/internal/report"
+	"depburst/internal/sampling"
 	"depburst/internal/units"
 )
 
@@ -85,6 +86,13 @@ type Server struct {
 		sync.Mutex
 		m map[string]*flight
 	}
+
+	// samplers holds the per-sampling-policy Runner derivations (see
+	// runnerFor); bounded by maxSamplingRunners.
+	samplers struct {
+		sync.Mutex
+		m map[sampling.Policy]*experiments.Runner
+	}
 }
 
 // New validates cfg, applies defaults, and assembles the routing table.
@@ -113,6 +121,7 @@ func New(cfg Config) (*Server, error) {
 		sem: make(chan struct{}, cfg.Workers),
 	}
 	s.flights.m = make(map[string]*flight)
+	s.samplers.m = make(map[sampling.Policy]*experiments.Runner)
 
 	s.route("POST /v1/predict", s.handlePredict)
 	s.route("GET /v1/experiments/fig1", s.experimentHandler("fig1"))

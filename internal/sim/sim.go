@@ -16,6 +16,7 @@ import (
 	"depburst/internal/metrics"
 	"depburst/internal/power"
 	"depburst/internal/rng"
+	"depburst/internal/sampling"
 	"depburst/internal/units"
 )
 
@@ -32,6 +33,11 @@ type Config struct {
 	// TransitionLatency is the cost of one DVFS transition (paper: 2 µs).
 	TransitionLatency units.Time
 	Seed              uint64
+	// Sampling configures sampled (live-sampled, Pac-Sim-style) simulation.
+	// The zero value — the default — runs every quantum in full detail and
+	// is byte-identical to builds without the sampling subsystem. Its
+	// fields are part of the persistent-cache content key.
+	Sampling sampling.Policy
 	// Metrics, when non-nil, is the per-run observability registry the
 	// machine threads through the core, memory, runtime and energy
 	// layers. nil (the default) disables observability at zero hot-path
@@ -89,6 +95,10 @@ type QuantumSample struct {
 	// PerCore holds each core's frequency and counter deltas over the
 	// quantum, for per-core DVFS governors.
 	PerCore []CoreSample
+	// FF marks a quantum that executed in sampled simulation's
+	// fast-forward mode: its deltas are partly extrapolated rather than
+	// simulated in detail. Always false in full-detail runs.
+	FF bool
 }
 
 // CoreSample is one core's share of a quantum.
@@ -129,6 +139,10 @@ type Result struct {
 	Transitions        int
 	TransitionOverhead units.Time
 	DRAM               DRAMStats
+	// Sampling reports the sampled-simulation summary — how much of the
+	// run was fast-forwarded and the error bound the extrapolation
+	// carries. nil for full-detail runs.
+	Sampling *sampling.Report
 }
 
 // TotalCounters sums all threads' counters.
@@ -175,6 +189,16 @@ type Machine struct {
 	lastReads     uint64
 	lastWrites    uint64
 	lastConflicts uint64
+
+	// Sampled-simulation state: the online phase detector, whether the
+	// quantum now running is fast-forwarded, every runtime instance (for
+	// GC drop-back detection), and last-quantum snapshots of the kernel's
+	// fast-forward rate pool and the cores' synthetic DRAM tallies.
+	det          *sampling.Detector
+	ffActive     bool
+	jvms         []*jvm.JVM
+	lastPool     cpu.Counters
+	lastPoolTime units.Time
 
 	// ctx, when non-nil, is polled once per sampling quantum; its
 	// cancellation aborts the kernel's event loop and fails the run.
@@ -223,8 +247,12 @@ func New(cfg Config) *Machine {
 			c.SetMetrics(m.reg)
 		}
 	}
+	if cfg.Sampling.Enabled {
+		m.det = sampling.NewDetector(cfg.Sampling, cfg.Cores)
+	}
 	m.JVM = jvm.New(kern, hier, cfg.JVM, r.Fork(0x14))
 	m.JVM.SetMetrics(m.reg)
+	m.jvms = append(m.jvms, m.JVM)
 	return m
 }
 
@@ -235,6 +263,7 @@ func (m *Machine) NewJVM(cfg jvm.Config) *jvm.JVM {
 	m.tenants++
 	j := jvm.NewGroup(m.Kern, m.Hier, cfg, m.Rng.Fork(0x14+uint64(m.tenants)), m.tenants)
 	j.SetMetrics(m.reg)
+	m.jvms = append(m.jvms, j)
 	return j
 }
 
@@ -346,6 +375,18 @@ func (m *Machine) Run(w Workload) (Result, error) {
 		RowHits: d.RowHits, RowMisses: d.RowMisses, Conflict: d.Conflicts,
 		AvgLatency: d.AvgLatency(),
 	}
+	if m.det != nil {
+		// Fold the extrapolated DRAM traffic into the totals (latency and
+		// row statistics remain hierarchy-observed) and attach the
+		// sampled-simulation summary.
+		for _, c := range m.Cores {
+			sr, sw := c.SynthDRAM()
+			res.DRAM.Reads += sr
+			res.DRAM.Writes += sw
+		}
+		rep := m.det.Report()
+		res.Sampling = &rep
+	}
 	return res, err
 }
 
@@ -372,6 +413,9 @@ func (m *Machine) quantum(now units.Time) {
 			}
 		}
 	}
+	if m.det != nil {
+		m.observeSampling(s)
+	}
 	if s.Delta.Active == 0 {
 		m.idleQuanta++
 	} else {
@@ -379,6 +423,49 @@ func (m *Machine) quantum(now units.Time) {
 	}
 	if m.Kern.LiveAppThreads() > 0 && m.idleQuanta < maxIdleQuanta {
 		m.Eng.Schedule(now+m.cfg.Quantum, m.quantum)
+	}
+}
+
+// observeSampling feeds the just-closed quantum to the phase detector and
+// applies its decision to the cores for the next quantum. Runs after the
+// governors so a DVFS transition this quantum is visible to the detector
+// immediately (fast-forward never spans a frequency change).
+func (m *Machine) observeSampling(s QuantumSample) {
+	pool, poolTime := m.Kern.FFPool()
+	var gcCount int64
+	inGC := false
+	for _, j := range m.jvms {
+		st := j.Stats()
+		gcCount += int64(st.MinorGCs + st.MajorGCs)
+		inGC = inGC || j.InGC()
+	}
+	q := sampling.Quantum{
+		Dur:         s.End - s.Start,
+		Freq:        m.freq,
+		Delta:       s.Delta,
+		DRAM:        s.DRAMAccesses,
+		Epochs:      m.Kern.Recorder().Epochs()[s.EpochLo:s.EpochHi],
+		PoolDelta:   pool.Sub(m.lastPool),
+		PoolTime:    poolTime - m.lastPoolTime,
+		GCCount:     gcCount,
+		InGC:        inGC,
+		Transitions: m.transitions,
+		Fast:        s.FF,
+	}
+	m.lastPool = pool
+	m.lastPoolTime = poolTime
+
+	if m.det.Observe(q) {
+		m.ffActive = true
+		r := m.det.Rates()
+		for _, c := range m.Cores {
+			c.SetFastForward(r)
+		}
+	} else {
+		m.ffActive = false
+		for _, c := range m.Cores {
+			c.ClearFastForward()
+		}
 	}
 }
 
@@ -399,8 +486,17 @@ func (m *Machine) sample(now units.Time) QuantumSample {
 	delta := total.Sub(m.lastCtr)
 	m.lastCtr = total
 
+	// Fast-forwarded blocks bypass the memory hierarchy; fold the DRAM
+	// accesses they would have made (synthesised by the cores) into the
+	// quantum's access count so DRAM statistics and energy metering stay
+	// consistent in sampled runs. Always zero in full-detail mode.
+	var synth uint64
+	for _, c := range m.Cores {
+		sr, sw := c.SynthDRAM()
+		synth += sr + sw
+	}
 	d := m.Hier.DRAM()
-	dram := d.Reads + d.Writes
+	dram := d.Reads + d.Writes + synth
 	dramDelta := dram - m.lastDRAM
 	m.lastDRAM = dram
 
@@ -449,6 +545,7 @@ func (m *Machine) sample(now units.Time) QuantumSample {
 		DRAMAccesses: dramDelta,
 		Energy:       e,
 		PerCore:      perCore,
+		FF:           m.ffActive,
 	}
 	m.lastEpochIdx = epochHi
 	m.lastSampleAt = now

@@ -148,6 +148,17 @@ func FillZeroInit(dst *cpu.Block, base mem.Addr, bytes int64, ipc float64) {
 	}
 }
 
+// ZeroInitInstrs returns the instruction count FillZeroInit would assign a
+// zero-init burst over the given byte span, letting callers fast-forward
+// the burst without materialising its event list.
+func ZeroInitInstrs(bytes int64) int64 {
+	lines := (bytes + mem.LineSize - 1) / mem.LineSize
+	if lines <= 0 {
+		lines = 1
+	}
+	return lines * 2
+}
+
 // FillCopy builds a garbage-collection copy burst: for every line, a load
 // from the source region followed by a store to the destination region.
 func FillCopy(dst *cpu.Block, src, dstBase mem.Addr, bytes int64, ipc float64) {

@@ -3,7 +3,9 @@
 // (https://ui.perfetto.dev). One track per kernel thread shows scheduling
 // lifetimes, a GC track shows stop-the-world windows, counter tracks show
 // each core's frequency and the DRAM activity series, and instant events
-// mark DVFS transitions, epoch boundaries and runtime phase marks.
+// mark DVFS transitions, epoch boundaries and runtime phase marks. Runs
+// executed in sampled mode additionally get a track labelling each quantum
+// fast-forward or detailed.
 //
 // The document is built from structs and slices in a fixed order, so
 // identical runs export byte-identical timelines — the golden and
@@ -24,11 +26,12 @@ import (
 // Process IDs group the timeline's tracks in trace viewers. They are part
 // of the exported contract (the schema test pins them).
 const (
-	PidThreads = 1 // one track per kernel thread
-	PidGC      = 2 // stop-the-world windows and runtime marks
-	PidDVFS    = 3 // per-core frequency counters and transition instants
-	PidEpochs  = 4 // synchronization epoch boundaries
-	PidDRAM    = 5 // memory-system counter tracks
+	PidThreads  = 1 // one track per kernel thread
+	PidGC       = 2 // stop-the-world windows and runtime marks
+	PidDVFS     = 3 // per-core frequency counters and transition instants
+	PidEpochs   = 4 // synchronization epoch boundaries
+	PidDRAM     = 5 // memory-system counter tracks
+	PidSampling = 6 // sampled-vs-detailed quanta (sampled runs only)
 )
 
 // Event is one Chrome trace_event entry. Only the fields the format
@@ -182,6 +185,30 @@ func Build(res *sim.Result, reg *metrics.Registry) Document {
 		}
 	}
 
+	// Sampled-simulation track: one complete event per quantum, labelled
+	// fast-forward or detailed, so the viewer shows which stretches were
+	// extrapolated. Emitted only when the run actually fast-forwarded —
+	// full-detail exports stay byte-identical to their goldens.
+	sampled := false
+	for _, s := range res.Samples {
+		if s.FF {
+			sampled = true
+			break
+		}
+	}
+	if sampled {
+		for _, s := range res.Samples {
+			name := "detailed"
+			if s.FF {
+				name = "fast-forward"
+			}
+			ev = append(ev, Event{
+				Name: name, Ph: "X", Ts: us(s.Start), Dur: us(s.End - s.Start),
+				Pid: PidSampling, Tid: 0, Cat: "sampling",
+			})
+		}
+	}
+
 	// Track-naming metadata, emitted last so viewers associate names
 	// after all tracks exist.
 	ev = append(ev,
@@ -191,6 +218,9 @@ func Build(res *sim.Result, reg *metrics.Registry) Document {
 		meta("epochs", "process_name", PidEpochs, 0),
 		meta("dram", "process_name", PidDRAM, 0),
 	)
+	if sampled {
+		ev = append(ev, meta("sampling", "process_name", PidSampling, 0))
+	}
 
 	doc.TraceEvents = ev
 	return doc

@@ -161,11 +161,50 @@ func TestBuildTracks(t *testing.T) {
 	}
 }
 
+// TestSamplingTrack covers the sampled-simulation track: a run with
+// fast-forwarded quanta gains a PidSampling track labelling every quantum,
+// while a full-detail run emits nothing on that pid (the goldens above pin
+// the byte identity of that case).
+func TestSamplingTrack(t *testing.T) {
+	full, reg := fixtureRun()
+	for _, e := range Build(full, reg).TraceEvents {
+		if e.Pid == PidSampling {
+			t.Fatalf("full-detail export emits sampling event %q", e.Name)
+		}
+	}
+
+	res, reg := fixtureRun()
+	res.Samples[1].FF = true
+	doc := Build(res, reg)
+	var names []string
+	metas := 0
+	for _, e := range doc.TraceEvents {
+		if e.Pid != PidSampling {
+			continue
+		}
+		switch e.Ph {
+		case "X":
+			names = append(names, e.Name)
+		case "M":
+			metas++
+		default:
+			t.Errorf("unexpected phase %q on sampling track", e.Ph)
+		}
+	}
+	want := []string{"detailed", "fast-forward"}
+	if len(names) != len(want) || names[0] != want[0] || names[1] != want[1] {
+		t.Errorf("sampling track events %v, want %v", names, want)
+	}
+	if metas != 1 {
+		t.Errorf("%d sampling process_name records, want 1", metas)
+	}
+}
+
 // TestSchemaStability pins the trace_event wire format: the top-level
 // wrapper keys, the per-event keys, and the track pid assignments that
 // viewers and the golden files depend on.
 func TestSchemaStability(t *testing.T) {
-	if PidThreads != 1 || PidGC != 2 || PidDVFS != 3 || PidEpochs != 4 || PidDRAM != 5 {
+	if PidThreads != 1 || PidGC != 2 || PidDVFS != 3 || PidEpochs != 4 || PidDRAM != 5 || PidSampling != 6 {
 		t.Error("track pid constants changed; goldens and consumers must be updated together")
 	}
 	res, reg := fixtureRun()
