@@ -11,8 +11,10 @@ import (
 
 	"depburst/internal/dacapo"
 	"depburst/internal/experiments"
+	"depburst/internal/report"
 	"depburst/internal/sampling"
 	"depburst/internal/simcache"
+	"depburst/internal/surrogate"
 	"depburst/internal/units"
 )
 
@@ -55,6 +57,20 @@ type benchDoc struct {
 	SampleSpeedup       float64 `json:"sample_speedup,omitempty"`
 	SampleErrorDelta    float64 `json:"sample_error_delta,omitempty"`
 	SampleDeterministic *bool   `json:"sample_deterministic,omitempty"`
+
+	// Surrogate phase (schema /3): the learned fast path trained on the
+	// cachecheck phase's corpus. Predict latency is the direct in-process
+	// call; the speedup compares it against the corpus's mean cold
+	// full-detail simulation; the hit rate is the corpus fraction whose
+	// estimates clear the serving confidence gate; the holdout error is the
+	// high-confidence bucket's held-out mean-abs relative error.
+	SurrogateSamples      int     `json:"surrogate_samples,omitempty"`
+	SurrogateGroups       int     `json:"surrogate_groups,omitempty"`
+	SurrogateTrainSeconds float64 `json:"surrogate_train_seconds,omitempty"`
+	SurrogatePredictUs    float64 `json:"surrogate_predict_us,omitempty"`
+	SurrogateHitRate      float64 `json:"surrogate_hit_rate,omitempty"`
+	SurrogateHoldoutErr   float64 `json:"surrogate_holdout_err,omitempty"`
+	SurrogateSpeedup      float64 `json:"surrogate_speedup,omitempty"`
 }
 
 // cmdBench times the full experiment suite through the parallel engine,
@@ -69,6 +85,7 @@ func cmdBench(args []string, workers int) {
 	baseline := fs.Bool("baseline", true, "also run serially (-j 1) to measure speedup and verify determinism")
 	cachecheck := fs.Bool("cachecheck", true, "also run cold+warm through a temporary persistent cache to measure the warm-rerun speedup and verify byte-identity")
 	samplecheck := fs.Bool("samplecheck", true, "also run the suite cold+warm in sampled mode to measure its cold-run speedup and prediction-error delta")
+	surrogatecheck := fs.Bool("surrogatecheck", true, "also train the learned surrogate on the cachecheck corpus and record its latency, hit rate, and held-out error (needs -cachecheck)")
 	fs.Parse(args)
 
 	if workers <= 0 {
@@ -106,7 +123,7 @@ func cmdBench(args []string, workers int) {
 	fmt.Fprintf(os.Stderr, "bench: parallel run %.2fs\n", parDur.Seconds())
 
 	doc := benchDoc{
-		Schema:          "depburst-bench/2",
+		Schema:          "depburst-bench/3",
 		GOMAXPROCS:      runtime.GOMAXPROCS(0),
 		Workers:         workers,
 		StepMHz:         *step,
@@ -116,6 +133,9 @@ func cmdBench(args []string, workers int) {
 		UnixTimeSeconds: time.Now().Unix(), //depburst:allow determinism -- the record is stamped with when it was taken by design
 	}
 	diverged := false
+	var corpusStore *simcache.Store // the cachecheck phase's populated corpus
+	var corpusColdSeconds float64
+	var corpusSims int64
 	if *baseline {
 		fmt.Fprintf(os.Stderr, "bench: serial baseline (-j 1)...\n")
 		serText, serDur := render(newRunner(1, nil, false))
@@ -143,7 +163,8 @@ func cmdBench(args []string, workers int) {
 			os.Exit(1)
 		}
 		fmt.Fprintf(os.Stderr, "bench: cold run into %s...\n", dir)
-		coldText, coldDur := render(newRunner(workers, st, false))
+		cold := newRunner(workers, st, false)
+		coldText, coldDur := render(cold)
 		fmt.Fprintf(os.Stderr, "bench: cold run %.2fs; warm rerun...\n", coldDur.Seconds())
 		warmText, warmDur := render(newRunner(workers, st, false))
 		det := coldText == parText && warmText == parText
@@ -158,6 +179,9 @@ func cmdBench(args []string, workers int) {
 			fmt.Fprintln(os.Stderr, "bench: ERROR: cached output differs from uncached output")
 			diverged = true
 		}
+		corpusStore = st
+		corpusColdSeconds = coldDur.Seconds()
+		corpusSims = cold.Simulations()
 	}
 	if *samplecheck {
 		dir, err := os.MkdirTemp("", "depburst-bench-sample-")
@@ -196,6 +220,47 @@ func cmdBench(args []string, workers int) {
 		if !det {
 			fmt.Fprintln(os.Stderr, "bench: ERROR: warm sampled output differs from cold sampled output")
 			diverged = true
+		}
+	}
+	if *surrogatecheck && corpusStore != nil && corpusSims > 0 {
+		samples, err := surrogate.Scan(corpusStore)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if len(samples) > 0 {
+			fmt.Fprintf(os.Stderr, "bench: training the surrogate on the %d-sample cachecheck corpus...\n", len(samples))
+			start := time.Now() //depburst:allow determinism -- bench times the real wall clock
+			model := surrogate.Train(samples)
+			//depburst:allow determinism -- wall-clock duration is the measurement
+			trainDur := time.Since(start)
+			sum := model.Summarize()
+			doc.SurrogateSamples = len(samples)
+			doc.SurrogateGroups = sum.Groups
+			doc.SurrogateTrainSeconds = trainDur.Seconds()
+
+			hits := 0
+			reps := 1 + 1000/len(samples)
+			start = time.Now() //depburst:allow determinism -- predict latency is the measurement
+			for i := 0; i < reps; i++ {
+				for _, s := range samples {
+					if est, ok := model.Predict(s.Config, s.Spec); ok && i == 0 &&
+						est.Confidence >= surrogate.DefaultMinConfidence {
+						hits++
+					}
+				}
+			}
+			//depburst:allow determinism -- predict latency is the measurement
+			predDur := time.Since(start)
+			predSecs := predDur.Seconds() / float64(reps*len(samples))
+			doc.SurrogatePredictUs = 1e6 * predSecs
+			doc.SurrogateHitRate = float64(hits) / float64(len(samples))
+			high, _ := surrogateHoldout(samples)
+			doc.SurrogateHoldoutErr = report.MeanAbs(high)
+			doc.SurrogateSpeedup = (corpusColdSeconds / float64(corpusSims)) / predSecs
+			fmt.Fprintf(os.Stderr, "bench: surrogate: %d groups, train %.2fs, predict %.1fus (%.0fx over cold sim), hit rate %.0f%%, held-out err %s\n",
+				doc.SurrogateGroups, trainDur.Seconds(), doc.SurrogatePredictUs,
+				doc.SurrogateSpeedup, 100*doc.SurrogateHitRate, report.PctAbs(doc.SurrogateHoldoutErr))
 		}
 	}
 

@@ -143,13 +143,23 @@ commands:
                     fail below the minimum cold-run speedup (CI job)
   offline -obs FILE [-target MHz]          predict offline from a recording
   predict -bench NAME [-base MHz] [-target MHz]  all models on one benchmark
+  train [-o FILE] [-prewarm]
+                    fit the learned surrogate from the -cache corpus and
+                    write the model file 'serve -model' loads
+  surrogatecheck [-max-err X] [-min-speedup X] [-o FILE]
+                    surrogate accuracy gate: held-out CV over a cold corpus,
+                    confidence calibration, and the tier-0 serving speedup
+                    vs cold full-detail simulation (CI job)
   serve [-addr HOST:PORT] [-max-queue N] [-request-workers N] [-timeout D]
-        [-step MHz] [-suite FILE]
+        [-step MHz] [-suite FILE] [-model FILE] [-surrogate]
+        [-surrogate-conf X]
                     prediction-as-a-service HTTP API (see README "Serving");
-                    honours the global -j and -cache flags
+                    honours the global -j and -cache flags; -model/-surrogate
+                    enable the learned tier-0 fast path
   loadtest [-addr HOST:PORT] [-rps N] [-duration D] [-bench NAME]
            [-p99-ms MS] [-o FILE]
-                    drive a running server and assert p99 + zero 5xx
+                    drive a running server and assert p99 + zero 5xx;
+                    reports per-tier serving counts when exposed
   lint [-json] [-fix-hints] [-analyzers LIST] [-C DIR] [packages]
                     run the repo's static-analysis suite (determinism,
                     hotpath, ctxflow, nilreg, goldenio); exits 1 on findings
@@ -323,6 +333,10 @@ global:
 		cmdDoctor()
 	case "samplecheck":
 		cmdSampleCheck(args, workers)
+	case "train":
+		cmdTrain(r, args)
+	case "surrogatecheck":
+		cmdSurrogateCheck(args, workers)
 	case "offline":
 		cmdOffline(args)
 	case "predict":

@@ -2,11 +2,14 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"net"
+	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -14,6 +17,7 @@ import (
 	"depburst/internal/experiments"
 	"depburst/internal/metrics"
 	"depburst/internal/server"
+	"depburst/internal/surrogate"
 	"depburst/internal/units"
 )
 
@@ -28,6 +32,9 @@ func cmdServe(r *experiments.Runner, args []string) {
 	timeout := fs.Duration("timeout", 2*time.Minute, "per-request deadline (0 disables)")
 	step := fs.Int("step", 500, "fig7 static-sweep step in MHz (requests may override with ?step=)")
 	suite := fs.String("suite", "", "custom suite JSON replacing the stock benchmarks (see 'depburst suite')")
+	modelFile := fs.String("model", "", "serve the learned surrogate tier from this model file (see 'depburst train')")
+	trainBoot := fs.Bool("surrogate", false, "train the surrogate tier at boot from the -cache corpus (empty corpus: starts cold, learns online from fallback truths)")
+	surConf := fs.Float64("surrogate-conf", 0, "confidence the surrogate needs to answer a request (0 = library default)")
 	fs.Parse(args)
 
 	if *suite != "" {
@@ -39,13 +46,42 @@ func cmdServe(r *experiments.Runner, args []string) {
 		r.SetSuite(specs)
 	}
 
+	var model *surrogate.Model
+	switch {
+	case *modelFile != "":
+		m, err := surrogate.ReadFile(*modelFile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		model = m
+	case *trainBoot:
+		model = surrogate.NewModel()
+		if st := r.DiskCache(); st != nil {
+			samples, err := surrogate.Scan(st)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			if len(samples) > 0 {
+				model = surrogate.Train(samples)
+			}
+		}
+	}
+	if model != nil {
+		sum := model.Summarize()
+		fmt.Printf("depburst serve: surrogate tier on (%d samples, %d groups)\n", sum.Points, sum.Groups)
+	}
+
 	srv, err := server.New(server.Config{
-		Runner:   r,
-		Workers:  *workers,
-		MaxQueue: *maxQueue,
-		Timeout:  *timeout,
-		Step:     units.Freq(*step),
-		Metrics:  metrics.NewServerRegistry(),
+		Runner:           r,
+		Workers:          *workers,
+		MaxQueue:         *maxQueue,
+		Timeout:          *timeout,
+		Step:             units.Freq(*step),
+		Metrics:          metrics.NewServerRegistry(),
+		Surrogate:        model,
+		SurrogateMinConf: *surConf,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -105,6 +141,7 @@ func cmdLoadtest(args []string) {
 		os.Exit(1)
 	}
 	rep.WriteJSON(os.Stdout)
+	printTierSplit(base)
 
 	if *out != "" {
 		if err := mergeLoadReport(*out, rep); err != nil {
@@ -127,4 +164,36 @@ func cmdLoadtest(args []string) {
 		os.Exit(1)
 	}
 	fmt.Printf("loadtest: ok (%d requests, p99 %.1fms, zero 5xx)\n", rep.Requests, rep.P99Ms)
+}
+
+// printTierSplit reports the server's per-tier predict counts when the
+// metrics endpoint exposes them. Best effort: a server without metrics (or
+// an older one without tiers) just prints nothing.
+func printTierSplit(base string) {
+	resp, err := http.Get(base + "/v1/metrics")
+	if err != nil {
+		return
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return
+	}
+	var doc struct {
+		Tiers []struct {
+			Tier  string `json:"tier"`
+			Count uint64 `json:"count"`
+		} `json:"tiers"`
+	}
+	if json.NewDecoder(resp.Body).Decode(&doc) != nil || len(doc.Tiers) == 0 {
+		return
+	}
+	var total uint64
+	for _, t := range doc.Tiers {
+		total += t.Count
+	}
+	parts := make([]string, 0, len(doc.Tiers))
+	for _, t := range doc.Tiers {
+		parts = append(parts, fmt.Sprintf("%s %d (%.0f%%)", t.Tier, t.Count, 100*float64(t.Count)/float64(total)))
+	}
+	fmt.Printf("tiers: %s\n", strings.Join(parts, ", "))
 }

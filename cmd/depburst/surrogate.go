@@ -1,0 +1,304 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sort"
+	"time"
+
+	"depburst/internal/dacapo"
+	"depburst/internal/experiments"
+	"depburst/internal/metrics"
+	"depburst/internal/report"
+	"depburst/internal/server"
+	"depburst/internal/simcache"
+	"depburst/internal/surrogate"
+)
+
+// cmdTrain fits the surrogate fast path from the persistent cache's truth
+// corpus and writes the model file `depburst serve -model` loads. The
+// global -cache flag names the corpus; -prewarm populates it first.
+func cmdTrain(r *experiments.Runner, args []string) {
+	fs := flag.NewFlagSet("train", flag.ExitOnError)
+	out := fs.String("o", "surrogate.dbsg", "output model file")
+	prewarm := fs.Bool("prewarm", false, "populate the corpus first: simulate the suite at every evaluation frequency into the cache")
+	fs.Parse(args)
+
+	st := r.DiskCache()
+	if st == nil {
+		fmt.Fprintln(os.Stderr, "train: the surrogate trains on a cached corpus; name one with -cache DIR (or DEPBURST_CACHE)")
+		os.Exit(1)
+	}
+	if *prewarm {
+		r.Prewarm(r.Suite(), experiments.EvalFreqs...)
+	}
+	samples, err := surrogate.Scan(st)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if len(samples) == 0 {
+		fmt.Fprintln(os.Stderr, "train: the cache holds no full-detail truth runs; run experiments through it first (or pass -prewarm)")
+		os.Exit(1)
+	}
+	m := surrogate.Train(samples)
+	if err := m.WriteFile(*out); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	sum := m.Summarize()
+	fmt.Printf("trained on %d samples: %d groups, gamma %.3f, cv err interp %s / extrap %s / knn %s -> %s\n",
+		sum.Points, sum.Groups, sum.Gamma,
+		report.PctAbs(sum.InterpErr), report.PctAbs(sum.ExtrapErr), report.PctAbs(sum.KNNErr), *out)
+}
+
+// surrogateCheckDoc is the machine-readable surrogatecheck report.
+type surrogateCheckDoc struct {
+	Schema      string  `json:"schema"` // "depburst-surrogatecheck/1"
+	Samples     int     `json:"samples"`
+	Groups      int     `json:"groups"`
+	HighCount   int     `json:"high_count"`
+	HighMeanAbs float64 `json:"high_mean_abs"`
+	LowCount    int     `json:"low_count"`
+	LowMeanAbs  float64 `json:"low_mean_abs"`
+	MaxErr      float64 `json:"max_err"`
+	ColdSimMs   float64 `json:"cold_sim_ms"`
+	SurrogateUs float64 `json:"surrogate_us"`
+	Speedup     float64 `json:"speedup"`
+	MinSpeedup  float64 `json:"min_speedup"`
+	ServedTier0 int     `json:"served_tier0"`
+	FellThrough int     `json:"fell_through"`
+	Pass        bool    `json:"pass"`
+}
+
+// cmdSurrogateCheck is the learned fast path's accuracy, calibration and
+// speed gate (CI's surrogate-accuracy job):
+//
+//   - held-out accuracy: every corpus sample predicted by a model trained
+//     without it; the high-confidence bucket's mean-abs error must clear
+//     -max-err,
+//   - calibration: the low-confidence bucket (dominated by whole-benchmark
+//     holdouts, where only cross-workload transfer is available) must be
+//     WORSE than the high-confidence bucket — confidence has to mean
+//     something, and
+//   - speed: the in-process /v1/predict round-trip served from the trained
+//     model must beat the mean cold full-detail simulation by -min-speedup,
+//     with every request actually answered at tier 0.
+func cmdSurrogateCheck(args []string, workers int) {
+	fs := flag.NewFlagSet("surrogatecheck", flag.ExitOnError)
+	maxErr := fs.Float64("max-err", 0.05, "fail when the high-confidence held-out mean-abs error exceeds this")
+	minSpeedup := fs.Float64("min-speedup", 100, "fail below this surrogate-vs-cold-simulation speedup")
+	out := fs.String("o", "", "also write the machine-readable report (JSON) to FILE")
+	fs.Parse(args)
+
+	newRunner := func() *experiments.Runner {
+		if workers > 0 {
+			return experiments.NewRunnerWorkers(workers)
+		}
+		return experiments.NewRunner()
+	}
+	suite := dacapo.Suite()
+
+	// Build the corpus cold, timing it: the per-simulation mean is the
+	// latency the fast path is judged against.
+	dir, err := os.MkdirTemp("", "depburst-surrogatecheck-")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer os.RemoveAll(dir)
+	st, err := simcache.Open(dir, 0)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	corpus := newRunner()
+	corpus.SetDiskCache(st)
+	start := time.Now() //depburst:allow determinism -- surrogatecheck times the real wall clock; the accuracy columns are deterministic
+	corpus.Prewarm(suite, experiments.EvalFreqs...)
+	//depburst:allow determinism -- wall-clock duration is the measurement
+	coldWall := time.Since(start)
+	sims := corpus.Simulations()
+
+	samples, err := surrogate.Scan(st)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if want := len(suite) * len(experiments.EvalFreqs); len(samples) != want {
+		fmt.Fprintf(os.Stderr, "surrogatecheck: corpus scan found %d samples, want %d\n", len(samples), want)
+		os.Exit(1)
+	}
+
+	high, low := surrogateHoldout(samples)
+	model := surrogate.Train(samples)
+	sum := model.Summarize()
+	doc := surrogateCheckDoc{
+		Schema:      "depburst-surrogatecheck/1",
+		Samples:     len(samples),
+		Groups:      sum.Groups,
+		HighCount:   len(high),
+		HighMeanAbs: report.MeanAbs(high),
+		LowCount:    len(low),
+		LowMeanAbs:  report.MeanAbs(low),
+		MaxErr:      *maxErr,
+		ColdSimMs:   1e3 * coldWall.Seconds() / float64(sims),
+		MinSpeedup:  *minSpeedup,
+	}
+
+	// Serve the corpus's own request shape from the trained model through
+	// the real HTTP layer. The backing runner is fresh and cache-less: a
+	// single fallback would simulate, so a zero count proves tier 0 took
+	// every request.
+	backing := newRunner()
+	srv, err := server.New(server.Config{
+		Runner:    backing,
+		Metrics:   metrics.NewServerRegistry(),
+		Surrogate: model,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	var served time.Duration
+	const rounds = 5
+	for i := 0; i < rounds; i++ {
+		for _, spec := range suite {
+			body := fmt.Sprintf(`{"bench":%q,"base_mhz":1000,"targets_mhz":[2000,3000,4000]}`, spec.Name)
+			rec := newMemResponse()
+			req, err := http.NewRequest(http.MethodPost, "/v1/predict", bytes.NewReader([]byte(body)))
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			start := time.Now() //depburst:allow determinism -- request latency is the measurement
+			srv.ServeHTTP(rec, req)
+			//depburst:allow determinism -- request latency is the measurement
+			served += time.Since(start)
+			var resp struct {
+				Tier string `json:"tier"`
+			}
+			if rec.code != http.StatusOK || json.Unmarshal(rec.body.Bytes(), &resp) != nil {
+				fmt.Fprintf(os.Stderr, "surrogatecheck: %s: status %d: %s\n", spec.Name, rec.code, rec.body.Bytes())
+				os.Exit(1)
+			}
+			if resp.Tier == "surrogate" {
+				doc.ServedTier0++
+			} else {
+				doc.FellThrough++
+			}
+		}
+	}
+	requests := rounds * len(suite)
+	doc.SurrogateUs = 1e6 * served.Seconds() / float64(requests)
+	doc.Speedup = doc.ColdSimMs * 1e3 / doc.SurrogateUs
+
+	calibrated := doc.HighCount > 0 && doc.LowCount > 0 && doc.LowMeanAbs > doc.HighMeanAbs
+	doc.Pass = doc.HighMeanAbs <= *maxErr && calibrated &&
+		doc.Speedup >= *minSpeedup && doc.FellThrough == 0 && backing.Simulations() == 0
+
+	t := &report.Table{
+		Title:  fmt.Sprintf("surrogatecheck: %d samples over %d groups (cold corpus %.1fs, %d sims)", doc.Samples, doc.Groups, coldWall.Seconds(), sims),
+		Header: []string{"bucket", "estimates", "mean-abs err", "gate"},
+	}
+	t.AddRow("high confidence", fmt.Sprintf("%d", doc.HighCount), report.PctAbs(doc.HighMeanAbs), fmt.Sprintf("<= %s", report.PctAbs(*maxErr)))
+	t.AddRow("low confidence", fmt.Sprintf("%d", doc.LowCount), report.PctAbs(doc.LowMeanAbs), "> high bucket")
+	emit(t)
+	fmt.Printf("serving: %d/%d requests at tier 0, mean %.0fus vs %.1fms cold sim = %.0fx (min %.0fx)\n",
+		doc.ServedTier0, requests, doc.SurrogateUs, doc.ColdSimMs, doc.Speedup, *minSpeedup)
+
+	if *out != "" {
+		writeTo(*out, func(w io.Writer) error {
+			enc := json.NewEncoder(w)
+			enc.SetIndent("", "  ")
+			return enc.Encode(doc)
+		})
+		fmt.Printf("report -> %s\n", *out)
+	}
+	switch {
+	case doc.HighMeanAbs > *maxErr:
+		fmt.Printf("surrogatecheck: FAILED (high-confidence held-out error %s exceeds %s)\n", report.PctAbs(doc.HighMeanAbs), report.PctAbs(*maxErr))
+		os.Exit(1)
+	case !calibrated:
+		fmt.Println("surrogatecheck: FAILED (confidence is not calibrated: low bucket not worse than high)")
+		os.Exit(1)
+	case doc.FellThrough > 0 || backing.Simulations() != 0:
+		fmt.Printf("surrogatecheck: FAILED (%d requests fell through to simulation)\n", doc.FellThrough)
+		os.Exit(1)
+	case doc.Speedup < *minSpeedup:
+		fmt.Printf("surrogatecheck: FAILED (speedup %.0fx below the %.0fx gate)\n", doc.Speedup, *minSpeedup)
+		os.Exit(1)
+	}
+	fmt.Println("surrogatecheck: passed")
+}
+
+// surrogateHoldout cross-validates the corpus the way the serving tier is
+// used. Two folds: every sample predicted by a model trained without it
+// (the within-group law path stays available), and every benchmark
+// predicted by a model trained without any of its samples (only
+// cross-workload transfer remains). Estimates are bucketed by whether
+// their confidence clears the serving gate; the slices hold the buckets'
+// signed relative errors.
+func surrogateHoldout(samples []surrogate.Sample) (high, low []float64) {
+	bucket := func(m *surrogate.Model, s surrogate.Sample) {
+		est, ok := m.Predict(s.Config, s.Spec)
+		if !ok || s.Time <= 0 {
+			return
+		}
+		e := report.RelError(float64(est.Time), float64(s.Time))
+		if est.Confidence >= surrogate.DefaultMinConfidence {
+			high = append(high, e)
+		} else {
+			low = append(low, e)
+		}
+	}
+	for i, s := range samples {
+		rest := make([]surrogate.Sample, 0, len(samples)-1)
+		rest = append(rest, samples[:i]...)
+		rest = append(rest, samples[i+1:]...)
+		bucket(surrogate.Train(rest), s)
+	}
+	byBench := map[string][]surrogate.Sample{}
+	for _, s := range samples {
+		byBench[s.Spec.Name] = append(byBench[s.Spec.Name], s)
+	}
+	benches := make([]string, 0, len(byBench))
+	for b := range byBench {
+		benches = append(benches, b)
+	}
+	sort.Strings(benches)
+	for _, b := range benches {
+		rest := make([]surrogate.Sample, 0, len(samples))
+		for _, s := range samples {
+			if s.Spec.Name != b {
+				rest = append(rest, s)
+			}
+		}
+		m := surrogate.Train(rest)
+		for _, s := range byBench[b] {
+			bucket(m, s)
+		}
+	}
+	return high, low
+}
+
+// memResponse is a minimal in-process http.ResponseWriter for driving the
+// server handler without a listener.
+type memResponse struct {
+	header http.Header
+	code   int
+	body   bytes.Buffer
+}
+
+func newMemResponse() *memResponse {
+	return &memResponse{header: http.Header{}, code: http.StatusOK}
+}
+
+func (m *memResponse) Header() http.Header         { return m.header }
+func (m *memResponse) WriteHeader(c int)           { m.code = c }
+func (m *memResponse) Write(b []byte) (int, error) { return m.body.Write(b) }

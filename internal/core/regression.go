@@ -70,6 +70,40 @@ func FitRegression(points []TrainingPoint) (*Regression, error) {
 	return &Regression{scaling: s, nonScaling: b, refFreq: ref}, nil
 }
 
+// FitRegressionNonneg fits the same two-component law with both components
+// projected onto S >= 0, N >= 0. The unconstrained least-squares fit can go
+// negative on noisy or near-flat training sets, and a negative component
+// breaks the physical reading of the law — and, downstream, the guarantee
+// that predicted time never decreases as frequency drops. The projection
+// picks the best single-component fit when a component is clamped:
+// S < 0 collapses to the constant N = mean(T); N < 0 to the pure-scaling
+// S = Σ(x·T)/Σx².
+func FitRegressionNonneg(points []TrainingPoint) (*Regression, error) {
+	r, err := FitRegression(points)
+	if err != nil {
+		return nil, err
+	}
+	if r.scaling >= 0 && r.nonScaling >= 0 {
+		return r, nil
+	}
+	var sy, sxx, sxy float64
+	for _, p := range points {
+		x := float64(r.refFreq) / float64(p.Freq)
+		y := float64(p.Time)
+		sy += y
+		sxx += x * x
+		sxy += x * y
+	}
+	if r.scaling < 0 {
+		r.scaling = 0
+		r.nonScaling = sy / float64(len(points))
+		return r, nil
+	}
+	r.nonScaling = 0
+	r.scaling = sxy / sxx // sxx > 0: FitRegression rejected non-positive freqs
+	return r, nil
+}
+
 // Name implements Model.
 func (r *Regression) Name() string { return "REGRESSION" }
 

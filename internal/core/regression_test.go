@@ -86,3 +86,82 @@ func TestRegressionNeverNegative(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+func TestRegressionNonnegClamps(t *testing.T) {
+	// Inverted points (time grows with frequency) drive the unconstrained
+	// scaling component negative; the clamped fit must collapse to the
+	// constant N = mean and stay monotone.
+	inverted := []TrainingPoint{
+		{Freq: 1000, Time: 1000},
+		{Freq: 2000, Time: 3000},
+	}
+	r, err := FitRegressionNonneg(inverted)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, n, _ := r.Components()
+	if s != 0 || n != 2000 {
+		t.Errorf("inverted fit: s=%v n=%v, want s=0 n=2000", s, n)
+	}
+
+	// Super-linear scaling drives N negative; the clamp keeps the pure
+	// scaling component.
+	steep := []TrainingPoint{
+		{Freq: 1000, Time: 8000},
+		{Freq: 4000, Time: 1000},
+	}
+	r, err = FitRegressionNonneg(steep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, n, _ = r.Components()
+	if n != 0 || s <= 0 {
+		t.Errorf("steep fit: s=%v n=%v, want n=0 and s>0", s, n)
+	}
+
+	// A well-posed set is untouched: same components as the plain fit.
+	good := []TrainingPoint{
+		{Freq: 1000, Time: 8000},
+		{Freq: 2000, Time: 5000},
+	}
+	plain, _ := FitRegression(good)
+	clamped, err := FitRegressionNonneg(good)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ps, pn, _ := plain.Components()
+	cs, cn, _ := clamped.Components()
+	if ps != cs || pn != cn {
+		t.Errorf("well-posed fit changed: plain (%v,%v) clamped (%v,%v)", ps, pn, cs, cn)
+	}
+
+	if _, err := FitRegressionNonneg(nil); err == nil {
+		t.Error("empty training set accepted")
+	}
+}
+
+func TestRegressionNonnegMonotone(t *testing.T) {
+	err := quick.Check(func(t1, t2, t3 uint32) bool {
+		pts := []TrainingPoint{
+			{Freq: 1000, Time: units.Time(t1 % 1_000_000)},
+			{Freq: 2000, Time: units.Time(t2 % 1_000_000)},
+			{Freq: 4000, Time: units.Time(t3 % 1_000_000)},
+		}
+		r, err := FitRegressionNonneg(pts)
+		if err != nil {
+			return true
+		}
+		prev := r.Predict(nil, 100)
+		for f := units.Freq(200); f <= 8000; f += 100 {
+			cur := r.Predict(nil, f)
+			if cur < 0 || cur > prev {
+				return false
+			}
+			prev = cur
+		}
+		return true
+	}, nil)
+	if err != nil {
+		t.Error(err)
+	}
+}

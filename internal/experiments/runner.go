@@ -30,6 +30,7 @@ import (
 	"depburst/internal/sampling"
 	"depburst/internal/sim"
 	"depburst/internal/simcache"
+	"depburst/internal/surrogate"
 	"depburst/internal/units"
 )
 
@@ -201,6 +202,18 @@ func (r *Runner) diskPut(key string, ok bool, res *sim.Result) {
 	if ok {
 		_ = r.disk.Put(key, res)
 	}
+}
+
+// putTruthMeta installs the surrogate training sidecar next to a cached
+// full-detail truth entry, best effort — it is what turns the cache into a
+// scannable corpus. Hits backfill sidecars missing from older corpora.
+// Sampled-mode results are approximations and are never offered to the
+// trainer.
+func (r *Runner) putTruthMeta(key string, ok bool, cfg sim.Config, spec dacapo.Spec) {
+	if !ok || cfg.Sampling.Enabled || r.disk.HasMeta(key) {
+		return
+	}
+	_ = r.disk.PutMeta(key, surrogate.NewTruthManifest(cfg, spec))
 }
 
 type truthKey struct {
@@ -452,6 +465,7 @@ func (r *Runner) TruthCtx(ctx context.Context, spec dacapo.Spec, f units.Freq) (
 		spec.Configure(&cfg)
 		key, ok := r.diskKey("truth", cfg, spec)
 		if res := r.diskGet(key, ok); res != nil {
+			r.putTruthMeta(key, ok, cfg, spec)
 			return res, nil, nil
 		}
 		release, err := r.gate(ctx)
@@ -464,6 +478,7 @@ func (r *Runner) TruthCtx(ctx context.Context, spec dacapo.Spec, f units.Freq) (
 			return nil, nil, err
 		}
 		r.diskPut(key, ok, res)
+		r.putTruthMeta(key, ok, cfg, spec)
 		return res, nil, nil
 	})
 	return res, err

@@ -42,6 +42,7 @@ type routeStats struct {
 type ServerRegistry struct {
 	mu        sync.Mutex
 	routes    map[string]*routeStats
+	tiers     map[string]*Histogram
 	coalesced uint64
 	rejected  uint64
 	gauges    map[string]float64
@@ -51,6 +52,7 @@ type ServerRegistry struct {
 func NewServerRegistry() *ServerRegistry {
 	return &ServerRegistry{
 		routes: make(map[string]*routeStats),
+		tiers:  make(map[string]*Histogram),
 		gauges: make(map[string]float64),
 	}
 }
@@ -73,6 +75,39 @@ func (s *ServerRegistry) ObserveRequest(route string, status int, latNS int64) {
 	}
 	rs.lat.Observe(latNS)
 	rs.status[status]++
+}
+
+// ObserveTier records one predict computation served by the named tier
+// ("surrogate", "sampled", "full") and its wall latency in nanoseconds.
+// Tier counts split serving volume across the prediction ladder; the
+// per-tier latency histograms are what the surrogate's speedup contract is
+// measured against.
+func (s *ServerRegistry) ObserveTier(tier string, latNS int64) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	h, ok := s.tiers[tier]
+	if !ok {
+		h = new(Histogram)
+		*h = newHistogram(serverLatBoundsNS)
+		s.tiers[tier] = h
+	}
+	h.Observe(latNS)
+}
+
+// TierCount returns how many computations the named tier has served.
+func (s *ServerRegistry) TierCount(tier string) uint64 {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if h, ok := s.tiers[tier]; ok {
+		return h.n
+	}
+	return 0
 }
 
 // IncCoalesced records one request served by joining an identical in-flight
@@ -164,6 +199,10 @@ type ServerDocument struct {
 	Rejected  uint64     `json:"rejected"`
 	Gauges    []GaugeDoc `json:"gauges"`
 	Routes    []RouteDoc `json:"routes"`
+	// Tiers is additive (serving-tier split of predict computations); it is
+	// absent until the first ObserveTier call, so pre-tier consumers see an
+	// unchanged document.
+	Tiers []TierDoc `json:"tiers,omitempty"`
 }
 
 // GaugeDoc is one published point-in-time value.
@@ -191,6 +230,17 @@ type RouteDoc struct {
 type StatusDoc struct {
 	Code  int    `json:"code"`
 	Count uint64 `json:"count"`
+}
+
+// TierDoc is one serving tier's exported tally.
+type TierDoc struct {
+	Tier  string `json:"tier"`
+	Count uint64 `json:"count"`
+	SumNS int64  `json:"sum_ns"`
+	MinNS int64  `json:"min_ns"`
+	MaxNS int64  `json:"max_ns"`
+	P50NS int64  `json:"p50_ns"`
+	P99NS int64  `json:"p99_ns"`
 }
 
 // Export builds the registry's document. Routes and status codes are sorted,
@@ -245,6 +295,24 @@ func (s *ServerRegistry) Export() ServerDocument {
 		}
 		doc.Routes = append(doc.Routes, rd)
 	}
+
+	tiers := make([]string, 0, len(s.tiers))
+	for t := range s.tiers {
+		tiers = append(tiers, t)
+	}
+	sort.Strings(tiers)
+	for _, tier := range tiers {
+		h := s.tiers[tier]
+		doc.Tiers = append(doc.Tiers, TierDoc{
+			Tier:  tier,
+			Count: h.n,
+			SumNS: h.sum,
+			MinNS: h.min,
+			MaxNS: h.max,
+			P50NS: h.Quantile(0.50),
+			P99NS: h.Quantile(0.99),
+		})
+	}
 	return doc
 }
 
@@ -296,6 +364,22 @@ func (s *ServerRegistry) WritePrometheus(w io.Writer) error {
 	fmt.Fprintf(bw, "# HELP depburst_http_rejected_total Requests refused by the backpressure gate.\n")
 	fmt.Fprintf(bw, "# TYPE depburst_http_rejected_total counter\n")
 	fmt.Fprintf(bw, "depburst_http_rejected_total %d\n", doc.Rejected)
+
+	if len(doc.Tiers) > 0 {
+		fmt.Fprintf(bw, "# HELP depburst_predict_tier_total Predict computations by serving tier.\n")
+		fmt.Fprintf(bw, "# TYPE depburst_predict_tier_total counter\n")
+		for _, td := range doc.Tiers {
+			fmt.Fprintf(bw, "depburst_predict_tier_total{tier=%q} %d\n", td.Tier, td.Count)
+		}
+		fmt.Fprintf(bw, "# HELP depburst_predict_tier_duration_seconds Predict computation wall latency, by serving tier.\n")
+		fmt.Fprintf(bw, "# TYPE depburst_predict_tier_duration_seconds summary\n")
+		for _, td := range doc.Tiers {
+			fmt.Fprintf(bw, "depburst_predict_tier_duration_seconds{tier=%q,quantile=\"0.5\"} %g\n", td.Tier, float64(td.P50NS)/1e9)
+			fmt.Fprintf(bw, "depburst_predict_tier_duration_seconds{tier=%q,quantile=\"0.99\"} %g\n", td.Tier, float64(td.P99NS)/1e9)
+			fmt.Fprintf(bw, "depburst_predict_tier_duration_seconds_sum{tier=%q} %g\n", td.Tier, float64(td.SumNS)/1e9)
+			fmt.Fprintf(bw, "depburst_predict_tier_duration_seconds_count{tier=%q} %d\n", td.Tier, td.Count)
+		}
+	}
 
 	for _, g := range doc.Gauges {
 		fmt.Fprintf(bw, "# TYPE depburst_%s gauge\n", g.Name)

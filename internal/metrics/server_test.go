@@ -20,6 +20,9 @@ func fixtureServerRegistry() *ServerRegistry {
 	s.IncCoalesced()
 	s.IncCoalesced()
 	s.IncRejected()
+	s.ObserveTier("surrogate", 90_000)
+	s.ObserveTier("surrogate", 140_000)
+	s.ObserveTier("full", 45_000_000)
 	s.SetGauge("simulations_total", 7)
 	s.SetGauge("queue_depth", 0)
 	return s
@@ -30,8 +33,9 @@ func TestServerRegistryNilDisabled(t *testing.T) {
 	s.ObserveRequest("GET /healthz", 200, 1)
 	s.IncCoalesced()
 	s.IncRejected()
+	s.ObserveTier("surrogate", 1)
 	s.SetGauge("x", 1)
-	if s.Coalesced() != 0 || s.Rejected() != 0 {
+	if s.Coalesced() != 0 || s.Rejected() != 0 || s.TierCount("surrogate") != 0 {
 		t.Fatal("nil registry reported non-zero counters")
 	}
 	doc := s.Export()
@@ -63,6 +67,19 @@ func TestServerRegistryCounters(t *testing.T) {
 	if len(pr.Status) != 2 || pr.Status[0].Code != 200 || pr.Status[0].Count != 2 ||
 		pr.Status[1].Code != 400 || pr.Status[1].Count != 1 {
 		t.Errorf("predict status split wrong: %+v", pr.Status)
+	}
+	// Tiers are sorted by name: full, surrogate.
+	if len(doc.Tiers) != 2 || doc.Tiers[0].Tier != "full" || doc.Tiers[1].Tier != "surrogate" {
+		t.Fatalf("tier split wrong: %+v", doc.Tiers)
+	}
+	if sg := doc.Tiers[1]; sg.Count != 2 || sg.MinNS != 90_000 || sg.MaxNS != 140_000 {
+		t.Errorf("surrogate tier stats wrong: %+v", sg)
+	}
+	if got := s.TierCount("surrogate"); got != 2 {
+		t.Errorf("TierCount(surrogate) = %d, want 2", got)
+	}
+	if got := s.TierCount("sampled"); got != 0 {
+		t.Errorf("TierCount(sampled) = %d, want 0", got)
 	}
 }
 
@@ -175,9 +192,16 @@ func TestServerSchemaStability(t *testing.T) {
 	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
 		t.Fatal(err)
 	}
-	for _, key := range []string{"version", "coalesced", "rejected", "gauges", "routes"} {
+	for _, key := range []string{"version", "coalesced", "rejected", "gauges", "routes", "tiers"} {
 		if _, ok := doc[key]; !ok {
 			t.Errorf("document lost key %q", key)
+		}
+	}
+	tiers := doc["tiers"].([]any)
+	t0 := tiers[0].(map[string]any)
+	for _, key := range []string{"tier", "count", "sum_ns", "min_ns", "max_ns", "p50_ns", "p99_ns"} {
+		if _, ok := t0[key]; !ok {
+			t.Errorf("tier block lost key %q", key)
 		}
 	}
 	routes := doc["routes"].([]any)

@@ -9,6 +9,7 @@ import (
 	"io"
 	"net/http"
 	"sort"
+	"time"
 
 	"depburst/internal/core"
 	"depburst/internal/dacapo"
@@ -48,14 +49,35 @@ type PredictRequest struct {
 
 // PredictResponse is the POST /v1/predict result. Field names are frozen
 // per the /v1 schema policy (DESIGN.md); Sampling is additive and appears
-// only when the request opted into sampled simulation.
+// only when the request opted into sampled simulation, Tier and Surrogate
+// are additive and appear only when the learned fast path answered (a
+// fallback response is byte-identical to a surrogate-less server's).
 type PredictResponse struct {
-	Bench       string           `json:"bench"`
-	BaseMHz     int64            `json:"base_mhz"`
-	BaseTimePS  int64            `json:"base_time_ps"`
-	Predictions []Prediction     `json:"predictions"`
-	Sampling    *PredictSampling `json:"sampling,omitempty"`
+	Bench       string            `json:"bench"`
+	BaseMHz     int64             `json:"base_mhz"`
+	BaseTimePS  int64             `json:"base_time_ps"`
+	Predictions []Prediction      `json:"predictions"`
+	Sampling    *PredictSampling  `json:"sampling,omitempty"`
+	Tier        string            `json:"tier,omitempty"`
+	Surrogate   *PredictSurrogate `json:"surrogate,omitempty"`
 }
+
+// PredictSurrogate annotates a surrogate-tier response with how much the
+// model trusts it: the weakest confidence and largest cross-validated
+// relative-error estimate over every frequency the response covers.
+type PredictSurrogate struct {
+	Confidence  float64 `json:"confidence"`
+	ErrEstimate float64 `json:"err_estimate"`
+}
+
+// Serving-tier labels, as reported in PredictResponse.Tier and the metrics
+// registry: the learned fast path, sampled simulation, full-detail
+// simulation.
+const (
+	TierSurrogate = "surrogate"
+	TierSampled   = "sampled"
+	TierFull      = "full"
+)
 
 // PredictSampling annotates a sampled response with the accuracy the
 // simulations themselves reported.
@@ -243,6 +265,14 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
+	start := time.Now() //depburst:allow determinism -- tier latency telemetry observes the real clock; it never feeds prediction output
+	if body, ok := s.trySurrogate(req, spec); ok {
+		//depburst:allow determinism -- tier latency telemetry observes the real clock
+		s.cfg.Metrics.ObserveTier(TierSurrogate, time.Since(start).Nanoseconds())
+		w.Header().Set("Content-Type", "application/json")
+		w.Write(body)
+		return
+	}
 	ctx := r.Context()
 	key := req.key()
 
@@ -325,7 +355,16 @@ func (s *Server) leadPredict(ctx context.Context, key string, f *flight, req *Pr
 		f.err = ctx.Err()
 		return
 	}
+	start := time.Now() //depburst:allow determinism -- tier latency telemetry observes the real clock; it never feeds prediction output
 	f.body, f.err = s.computePredict(ctx, req, spec)
+	if f.err == nil {
+		tier := TierFull
+		if req.Sampling != nil {
+			tier = TierSampled
+		}
+		//depburst:allow determinism -- tier latency telemetry observes the real clock
+		s.cfg.Metrics.ObserveTier(tier, time.Since(start).Nanoseconds())
+	}
 }
 
 // maxSamplingRunners caps how many distinct sampling policies one process
@@ -355,6 +394,81 @@ func (s *Server) runnerFor(p *sampling.Policy) (*experiments.Runner, error) {
 	return r, nil
 }
 
+// surrogateConfig builds the simulator configuration the surrogate indexes
+// truth runs by: the Runner's machine template at frequency f with the
+// spec's workload knobs applied — exactly what TruthCtx simulates.
+func (s *Server) surrogateConfig(spec dacapo.Spec, f units.Freq) sim.Config {
+	cfg := s.cfg.Runner.Base
+	cfg.Freq = f
+	spec.Configure(&cfg)
+	return cfg
+}
+
+// trySurrogate attempts to serve the request from the learned fast path.
+// It answers only when every frequency the response covers — base and all
+// targets — clears the confidence gate; one weak estimate falls the whole
+// request through to the Runner tiers, so a response never mixes learned
+// and simulated numbers. Requests that ask for ground truth (actual),
+// sampled simulation, or any model beyond the default dep+burst always
+// fall through: those contracts are about the simulator, not the model of
+// the simulator.
+func (s *Server) trySurrogate(req *PredictRequest, spec dacapo.Spec) ([]byte, bool) {
+	m := s.cfg.Surrogate
+	if m == nil || req.Actual || req.Sampling != nil {
+		return nil, false
+	}
+	if len(req.Models) != 1 || req.Models[0] != "dep+burst" {
+		return nil, false
+	}
+	base, ok := m.Predict(s.surrogateConfig(spec, units.Freq(req.BaseMHz)), spec)
+	if !ok || base.Confidence < s.cfg.SurrogateMinConf {
+		return nil, false
+	}
+	resp := PredictResponse{
+		Bench:      spec.Name,
+		BaseMHz:    req.BaseMHz,
+		BaseTimePS: int64(base.Time),
+		Tier:       TierSurrogate,
+		Surrogate:  &PredictSurrogate{Confidence: base.Confidence, ErrEstimate: base.ErrEstimate},
+	}
+	for _, tgt := range req.TargetsMHz {
+		est, ok := m.Predict(s.surrogateConfig(spec, units.Freq(tgt)), spec)
+		if !ok || est.Confidence < s.cfg.SurrogateMinConf {
+			return nil, false
+		}
+		if est.Confidence < resp.Surrogate.Confidence {
+			resp.Surrogate.Confidence = est.Confidence
+		}
+		if est.ErrEstimate > resp.Surrogate.ErrEstimate {
+			resp.Surrogate.ErrEstimate = est.ErrEstimate
+		}
+		resp.Predictions = append(resp.Predictions, Prediction{
+			Model:       req.Models[0],
+			TargetMHz:   tgt,
+			PredictedPS: int64(est.Time),
+		})
+	}
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(resp); err != nil {
+		return nil, false
+	}
+	return buf.Bytes(), true
+}
+
+// observeTruth feeds one full-detail truth result back into the surrogate:
+// every fallback the slower tiers compute makes the fast path answer more
+// of the neighbourhood next time. Sampled results never train the model —
+// their times carry a machine-reported error bound the surrogate's
+// calibration does not account for.
+func (s *Server) observeTruth(req *PredictRequest, spec dacapo.Spec, f units.Freq, t units.Time) {
+	if s.cfg.Surrogate == nil || req.Sampling != nil {
+		return
+	}
+	s.cfg.Surrogate.Observe(s.surrogateConfig(spec, f), spec, t)
+}
+
 // computePredict runs the base (and, with actual set, target) simulations
 // through the Runner — memoised, singleflight-deduplicated, disk-cached —
 // and assembles the response. The response bytes are a pure function of the
@@ -368,6 +482,7 @@ func (s *Server) computePredict(ctx context.Context, req *PredictRequest, spec d
 	if err != nil {
 		return nil, err
 	}
+	s.observeTruth(req, spec, units.Freq(req.BaseMHz), base.Time)
 	obs := experiments.Observe(base)
 
 	resp := PredictResponse{
@@ -390,6 +505,7 @@ func (s *Server) computePredict(ctx context.Context, req *PredictRequest, spec d
 				if err != nil {
 					return nil, err
 				}
+				s.observeTruth(req, spec, units.Freq(tgt), truth.Time)
 				p.ActualPS = int64(truth.Time)
 				re := report.RelError(float64(p.PredictedPS), float64(p.ActualPS))
 				p.RelError = &re

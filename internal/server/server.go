@@ -3,6 +3,13 @@
 // backpressure, per-request deadline propagation into the simulator's
 // sampling loop, and graceful drain.
 //
+// Serving is tiered (DESIGN.md "Tiered serving"): an optional learned
+// surrogate answers eligible predict requests in microseconds when its
+// confidence clears the gate (tier 0), sampled simulation trades a bounded
+// error for severalfold faster cold runs (tier 1), and full-detail
+// simulation is the ground truth backstop (tier 2). Every full-detail
+// truth a fallback computes is fed back into the surrogate online.
+//
 // Endpoints:
 //
 //	POST /v1/predict              DEP+BURST (and friends) prediction for one
@@ -34,6 +41,7 @@ import (
 	"depburst/internal/metrics"
 	"depburst/internal/report"
 	"depburst/internal/sampling"
+	"depburst/internal/surrogate"
 	"depburst/internal/units"
 )
 
@@ -70,6 +78,17 @@ type Config struct {
 	// does not override it with ?step= (default 500: the full 125 MHz
 	// paper grid is a batch workload, not a request).
 	Step units.Freq
+
+	// Surrogate, when set, serves eligible predict requests from the
+	// learned fast path (tier 0) before any simulation is scheduled, and
+	// absorbs every full-detail truth the slower tiers compute (see
+	// DESIGN.md "Tiered serving"). nil disables the tier.
+	Surrogate *surrogate.Model
+
+	// SurrogateMinConf is the confidence a surrogate estimate must reach
+	// to answer a request; anything lower falls through to the Runner
+	// (default surrogate.DefaultMinConfidence).
+	SurrogateMinConf float64
 }
 
 // Server is the HTTP layer. Construct with New, run with Serve.
@@ -114,6 +133,9 @@ func New(cfg Config) (*Server, error) {
 	}
 	if cfg.Step <= 0 {
 		cfg.Step = 500
+	}
+	if cfg.SurrogateMinConf <= 0 {
+		cfg.SurrogateMinConf = surrogate.DefaultMinConfidence
 	}
 	s := &Server{
 		cfg: cfg,

@@ -43,6 +43,14 @@ const DefaultMaxBytes = 4 << 30
 // the directory (temp files, stray content) is ignored by Get and eviction.
 const entryExt = ".sce"
 
+// metaExt is the filename extension of metadata sidecars: small framed JSON
+// records describing the inputs of the entry with the same key. Sidecars
+// make the corpus scannable — the content hash alone is not invertible back
+// to the (config, spec) that produced an entry. They ride along with their
+// entry: evicting or purging an entry removes its sidecar too, and a
+// sidecar without a live entry is simply ignored.
+const metaExt = ".scm"
+
 // Entry header: magic, format version, payload length, payload CRC.
 var entryMagic = [4]byte{'D', 'B', 'S', 'C'}
 
@@ -163,6 +171,10 @@ func (s *Store) path(key string) string {
 	return filepath.Join(s.dir, key+entryExt)
 }
 
+func (s *Store) metaPath(key string) string {
+	return filepath.Join(s.dir, key+metaExt)
+}
+
 // Get decodes the entry for key into out (a pointer to a fresh value) and
 // reports whether it was served. Every failure mode — absent, truncated,
 // corrupted, or written by an incompatible format version — returns false;
@@ -177,11 +189,13 @@ func (s *Store) Get(key string, out any) bool {
 	payload, ok := checkEntry(raw)
 	if !ok {
 		os.Remove(path) // damaged or foreign: purge, best effort
+		os.Remove(s.metaPath(key))
 		s.count(func(st *Stats) { st.Misses++ })
 		return false
 	}
 	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(out); err != nil {
 		os.Remove(path)
+		os.Remove(s.metaPath(key))
 		s.count(func(st *Stats) { st.Misses++ })
 		return false
 	}
@@ -223,11 +237,21 @@ func (s *Store) Put(key string, val any) error {
 	if err := gob.NewEncoder(&payload).Encode(val); err != nil {
 		return fmt.Errorf("simcache: encode: %w", err)
 	}
+	if err := s.install(s.path(key), payload.Bytes()); err != nil {
+		return err
+	}
+	s.count(func(st *Stats) { st.Puts++ })
+	return s.evictOver()
+}
+
+// install frames payload (magic, version, length, CRC) and renames it into
+// place atomically.
+func (s *Store) install(dst string, payload []byte) error {
 	var hdr [headerSize]byte
 	copy(hdr[:4], entryMagic[:])
 	binary.LittleEndian.PutUint32(hdr[4:8], entryVersion)
-	binary.LittleEndian.PutUint64(hdr[8:16], uint64(payload.Len()))
-	binary.LittleEndian.PutUint32(hdr[16:20], crc32.ChecksumIEEE(payload.Bytes()))
+	binary.LittleEndian.PutUint64(hdr[8:16], uint64(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[16:20], crc32.ChecksumIEEE(payload))
 
 	tmp, err := os.CreateTemp(s.dir, ".tmp-*")
 	if err != nil {
@@ -235,7 +259,7 @@ func (s *Store) Put(key string, val any) error {
 	}
 	defer os.Remove(tmp.Name()) // no-op after a successful rename
 	if _, err := tmp.Write(hdr[:]); err == nil {
-		_, err = tmp.Write(payload.Bytes())
+		_, err = tmp.Write(payload)
 	}
 	if err != nil {
 		tmp.Close()
@@ -244,11 +268,70 @@ func (s *Store) Put(key string, val any) error {
 	if err := tmp.Close(); err != nil {
 		return fmt.Errorf("simcache: %w", err)
 	}
-	if err := os.Rename(tmp.Name(), s.path(key)); err != nil {
+	if err := os.Rename(tmp.Name(), dst); err != nil {
 		return fmt.Errorf("simcache: install: %w", err)
 	}
-	s.count(func(st *Stats) { st.Puts++ })
-	return s.evictOver()
+	return nil
+}
+
+// PutMeta installs a metadata sidecar for key: a framed, checksummed JSON
+// record of meta (struct fields in declaration order — no maps), written
+// atomically like an entry. Sidecars are tiny and excluded from the LRU
+// byte budget, but eviction and purge remove them together with their
+// entry.
+func (s *Store) PutMeta(key string, meta any) error {
+	payload, err := json.Marshal(meta)
+	if err != nil {
+		return fmt.Errorf("simcache: meta encode: %w", err)
+	}
+	return s.install(s.metaPath(key), payload)
+}
+
+// GetMeta decodes the metadata sidecar for key into out and reports whether
+// it was served. Absent, truncated, corrupted or version-skewed sidecars
+// return false; damaged ones are purged, best effort.
+func (s *Store) GetMeta(key string, out any) bool {
+	path := s.metaPath(key)
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return false
+	}
+	payload, ok := checkEntry(raw)
+	if !ok {
+		os.Remove(path)
+		return false
+	}
+	if err := json.Unmarshal(payload, out); err != nil {
+		os.Remove(path)
+		return false
+	}
+	return true
+}
+
+// HasMeta reports whether key has a metadata sidecar on disk (without
+// validating it; GetMeta does that).
+func (s *Store) HasMeta(key string) bool {
+	_, err := os.Stat(s.metaPath(key))
+	return err == nil
+}
+
+// Keys returns the content keys of the live entries, sorted, so corpus
+// scans are deterministic regardless of directory order.
+func (s *Store) Keys() ([]string, error) {
+	des, err := os.ReadDir(s.dir)
+	if err != nil {
+		return nil, err
+	}
+	var keys []string
+	for _, de := range des {
+		name := de.Name()
+		if filepath.Ext(name) != entryExt {
+			continue
+		}
+		keys = append(keys, name[:len(name)-len(entryExt)])
+	}
+	sort.Strings(keys)
+	return keys, nil
 }
 
 // Size scans the directory and returns the live entry count and byte total.
@@ -309,6 +392,8 @@ func (s *Store) evictOver() error {
 		if os.Remove(e.path) == nil {
 			total -= e.size
 			s.stats.Evictions++
+			// The sidecar goes with its entry; without one this is a no-op.
+			os.Remove(e.path[:len(e.path)-len(entryExt)] + metaExt)
 		}
 	}
 	return nil

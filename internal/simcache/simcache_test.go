@@ -352,3 +352,182 @@ func ExampleStore() {
 	fmt.Println(s.Get(key, &out), out.Time)
 	// Output: true 42
 }
+
+// meta is a stand-in for a surrogate training manifest.
+type meta struct {
+	Kind  string
+	Bench string
+	MHz   int64
+}
+
+func TestMetaRoundTrip(t *testing.T) {
+	s := open(t, 0)
+	key, _ := Key("truth", 1)
+	if s.HasMeta(key) || s.GetMeta(key, &meta{}) {
+		t.Fatal("meta served before PutMeta")
+	}
+	want := meta{Kind: "truth", Bench: "xalan", MHz: 1000}
+	if err := s.PutMeta(key, want); err != nil {
+		t.Fatal(err)
+	}
+	if !s.HasMeta(key) {
+		t.Fatal("HasMeta false after PutMeta")
+	}
+	var got meta
+	if !s.GetMeta(key, &got) {
+		t.Fatal("GetMeta missed after PutMeta")
+	}
+	if got != want {
+		t.Fatalf("meta round trip: got %+v, want %+v", got, want)
+	}
+}
+
+func TestMetaCorruptionPurged(t *testing.T) {
+	corruptions := map[string]func(raw []byte) []byte{
+		"truncated": func(raw []byte) []byte { return raw[:len(raw)-3] },
+		"badmagic":  func(raw []byte) []byte { raw[0] ^= 0xff; return raw },
+		"badver":    func(raw []byte) []byte { raw[5] ^= 0x01; return raw },
+		"flipped":   func(raw []byte) []byte { raw[len(raw)-1] ^= 0x01; return raw },
+		"notjson":   func(raw []byte) []byte { return frame([]byte("{oops")) },
+		"header":    func(raw []byte) []byte { return raw[:5] },
+	}
+	for name, corrupt := range corruptions {
+		t.Run(name, func(t *testing.T) {
+			s := open(t, 0)
+			key, _ := Key("truth", name)
+			if err := s.PutMeta(key, meta{Kind: "truth"}); err != nil {
+				t.Fatal(err)
+			}
+			raw, err := os.ReadFile(s.metaPath(key))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(s.metaPath(key), corrupt(raw), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			if s.GetMeta(key, &meta{}) {
+				t.Fatal("corrupted meta served")
+			}
+			if _, err := os.Stat(s.metaPath(key)); !os.IsNotExist(err) {
+				t.Error("corrupted meta not purged")
+			}
+		})
+	}
+}
+
+// frame wraps payload in valid entry framing, for tests that need a
+// well-framed but semantically broken file.
+func frame(payload []byte) []byte {
+	s := &Store{}
+	dir, err := os.MkdirTemp("", "simcache-frame-")
+	if err != nil {
+		panic(err)
+	}
+	defer os.RemoveAll(dir)
+	s.dir = dir
+	path := filepath.Join(dir, "f")
+	if err := s.install(path, payload); err != nil {
+		panic(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		panic(err)
+	}
+	return raw
+}
+
+func TestDamagedEntryPurgesMeta(t *testing.T) {
+	s := open(t, 0)
+	key, _ := Key("truth", 7)
+	if err := s.Put(key, testPayload()); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.PutMeta(key, meta{Kind: "truth"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(s.path(key), []byte("garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if s.Get(key, &payload{}) {
+		t.Fatal("damaged entry served")
+	}
+	if s.HasMeta(key) {
+		t.Error("meta survived its damaged entry")
+	}
+}
+
+func TestEvictionRemovesMeta(t *testing.T) {
+	s := open(t, 0)
+	var keys []string
+	for i := 0; i < 4; i++ {
+		k, _ := Key("entry", i)
+		keys = append(keys, k)
+		if err := s.Put(k, testPayload()); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.PutMeta(k, meta{Kind: "truth", MHz: int64(i)}); err != nil {
+			t.Fatal(err)
+		}
+		mt := time.Now().Add(time.Duration(i-10) * time.Hour)
+		if err := os.Chtimes(s.path(k), mt, mt); err != nil {
+			t.Fatal(err)
+		}
+	}
+	_, total, err := s.Size()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Four entries fit exactly; the fifth Put overflows by one entry and
+	// evicts exactly the oldest.
+	s.maxBytes = total
+	k, _ := Key("entry", 99)
+	if err := s.Put(k, testPayload()); err != nil {
+		t.Fatal(err)
+	}
+	if s.Get(keys[0], &payload{}) {
+		t.Fatal("oldest entry not evicted")
+	}
+	if s.HasMeta(keys[0]) {
+		t.Error("evicted entry's meta left behind")
+	}
+	for _, k := range keys[1:] {
+		if !s.HasMeta(k) {
+			t.Error("surviving entry lost its meta")
+		}
+	}
+}
+
+func TestKeysSortedLiveEntries(t *testing.T) {
+	s := open(t, 0)
+	want := map[string]bool{}
+	for i := 0; i < 5; i++ {
+		k, _ := Key("entry", i)
+		if err := s.Put(k, testPayload()); err != nil {
+			t.Fatal(err)
+		}
+		want[k] = true
+	}
+	// Meta sidecars, temp droppings and foreign files are not entries.
+	k, _ := Key("meta-only", 1)
+	if err := s.PutMeta(k, meta{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(s.dir, "README"), []byte("hi"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	keys, err := s.Keys()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(keys) != len(want) {
+		t.Fatalf("Keys returned %d entries, want %d", len(keys), len(want))
+	}
+	for i, k := range keys {
+		if !want[k] {
+			t.Errorf("unexpected key %s", k)
+		}
+		if i > 0 && keys[i-1] >= k {
+			t.Error("keys not sorted")
+		}
+	}
+}

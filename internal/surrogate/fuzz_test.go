@@ -1,0 +1,62 @@
+package surrogate
+
+import (
+	"encoding/json"
+	"testing"
+
+	"depburst/internal/dacapo"
+)
+
+// FuzzSurrogateDecode throws arbitrary bytes at the fast path's two
+// untrusted input surfaces: the model-file decoder and the manifest
+// payload the corpus scanner json-decodes out of each sidecar (the framing
+// around it is simcache's checkEntry, exercised by its corruption wall).
+// Malformation must degrade to a clean error or an ignored sample — never
+// a panic — and a model that does decode must survive prediction,
+// observation and re-encoding. The on-disk skip-and-continue behaviour of
+// Scan itself is covered by TestScanCorpus.
+func FuzzSurrogateDecode(f *testing.F) {
+	spec := dacapo.PMDScale()
+	valid, err := Train(synthSamples([]dacapo.Spec{spec, dacapo.Xalan()}, trainFreqs)).Encode()
+	if err != nil {
+		f.Fatal(err)
+	}
+	manifest, err := json.Marshal(NewTruthManifest(synthConfig(spec, 1000), spec))
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid)
+	f.Add(valid[:len(valid)/2])
+	f.Add(valid[:fileHeaderSize])
+	f.Add([]byte("DBSG"))
+	f.Add(manifest)
+	f.Add([]byte(`{"kind":"truth","spec":{"Name":"pmd"}}`))
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if m, err := Decode(data); err == nil {
+			cfg := synthConfig(spec, 2000)
+			if _, ok := m.Predict(cfg, spec); ok {
+				m.Observe(synthConfig(spec, 1500), spec, 42)
+			}
+			if _, err := m.Encode(); err != nil {
+				t.Fatalf("decoded model failed to re-encode: %v", err)
+			}
+		}
+
+		var man Manifest
+		if err := json.Unmarshal(data, &man); err != nil {
+			return
+		}
+		// Whatever decoded is fed through the whole training surface; the
+		// model must absorb or reject it without panicking.
+		man.GroupID()
+		man.features()
+		man.perThreadWork()
+		m := NewModel()
+		m.Observe(man.Config, man.Spec, 7)
+		m.Observe(man.Config, man.Spec, 7)
+		m.Predict(man.Config, man.Spec)
+		Train([]Sample{{Config: man.Config, Spec: man.Spec, Time: 7}})
+	})
+}

@@ -1,0 +1,40 @@
+package surrogate
+
+import (
+	"depburst/internal/sim"
+	"depburst/internal/simcache"
+)
+
+// Scan walks the store and returns the training corpus: one Sample per
+// live entry whose metadata sidecar identifies a full-detail truth run.
+// Entries without a sidecar (other run families, corpora predating
+// sidecars), damaged sidecars or entries, sampled-mode runs and malformed
+// manifests are skipped — a partially-readable corpus trains a smaller
+// model, never a failed one. The result is ordered by content key, so a
+// scan of the same corpus is deterministic regardless of how (or how
+// parallel) the corpus was built.
+func Scan(st *simcache.Store) ([]Sample, error) {
+	keys, err := st.Keys()
+	if err != nil {
+		return nil, err
+	}
+	var samples []Sample
+	for _, k := range keys {
+		var m Manifest
+		if !st.GetMeta(k, &m) {
+			continue
+		}
+		if m.Kind != KindTruth || m.Config.Sampling.Enabled || m.Config.Freq <= 0 {
+			continue
+		}
+		var res sim.Result
+		if !st.Get(k, &res) {
+			continue
+		}
+		if res.Time < 0 {
+			continue
+		}
+		samples = append(samples, Sample{Config: m.Config, Spec: m.Spec, Time: res.Time})
+	}
+	return samples, nil
+}
