@@ -21,10 +21,22 @@
 //	             and calls to non-tolerant methods need a nil check
 //	goldenio     exported bytes (goldens, BENCH records, documents) never
 //	             come from marshalling maps; use sorted slices or obsio
+//	lockdisc     //depburst:guardedby fields are only touched with their
+//	             mutex held; RWMutex writes never happen under RLock
+//	golife       every go statement has a provable termination path (ctx
+//	             select, WaitGroup join, or //depburst:daemon), and spawned
+//	             closures neither capture loop variables by reference nor
+//	             write captured locals unsynchronized
+//	atomiccheck  fields accessed via sync/atomic are never read or written
+//	             plainly, and typed atomics are never copied by value
+//	chanproto    function-local channels have a receive path, sender-side
+//	             close, and no reachable double-close
 //
 // Sanctioned exceptions are annotated in the source: //depburst:allow
 // <analyzer> <reason> suppresses one line, //depburst:hotpath marks roots,
-// //depburst:niltolerant asserts nil tolerance by delegation. The driver is
+// //depburst:niltolerant asserts nil tolerance by delegation,
+// //depburst:guardedby and //depburst:locked declare lock discipline, and
+// //depburst:daemon sanctions process-lifetime goroutines. The driver is
 // exposed as `depburst lint`, and the suite's own test wall self-runs the
 // analyzers over this repository, so the tree is lint-clean by
 // construction.
@@ -97,6 +109,10 @@ func All() []*Analyzer {
 		CtxFlow,
 		NilReg,
 		GoldenIO,
+		LockDisc,
+		GoLife,
+		AtomicCheck,
+		ChanProto,
 	}
 }
 

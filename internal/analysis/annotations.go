@@ -19,6 +19,31 @@ const (
 	// methods); the nilreg analyzer trusts it instead of requiring a
 	// leading nil guard.
 	directiveNilTolerant = "//depburst:niltolerant"
+	// directiveGuardedBy marks a struct field as protected by a sibling
+	// mutex field:
+	//
+	//	//depburst:guardedby <mu>
+	//
+	// on the field's doc or trailing comment. The lockdisc analyzer then
+	// requires every read/write of the field to hold <mu> (name an embedded
+	// mutex by its type name, "Mutex"/"RWMutex").
+	directiveGuardedBy = "//depburst:guardedby"
+	// directiveLocked asserts a helper is only called with the receiver's
+	// named mutex already held:
+	//
+	//	//depburst:locked <mu>
+	//
+	// lockdisc analyzes the body as if <mu> were write-held on entry. The
+	// call-site obligation is the caller's, documented by the annotation.
+	directiveLocked = "//depburst:locked"
+	// directiveDaemon sanctions one go statement as an intentionally
+	// process-lifetime goroutine:
+	//
+	//	//depburst:daemon -- <reason>
+	//
+	// on the go statement's line or the line above. The reason is mandatory;
+	// golife ignores the directive without one.
+	directiveDaemon = "//depburst:daemon"
 	// directiveAllow suppresses one analyzer on the line it annotates:
 	//
 	//	//depburst:allow <analyzer> <reason...>

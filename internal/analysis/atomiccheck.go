@@ -1,0 +1,294 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// AtomicCheck enforces all-or-nothing atomicity: once a field is accessed
+// through sync/atomic — either by address (`atomic.AddInt64(&x.n, 1)`) or by
+// being declared one of the typed atomics (atomic.Int64, atomic.Bool, ...) —
+// every access must stay atomic. A single plain read of an atomically
+// written counter is a data race the race detector only catches when a test
+// happens to execute both sides; statically, the mixed access is visible on
+// every path.
+//
+// Checked:
+//
+//   - a field passed by address to a sync/atomic function anywhere in the
+//     package must never be read or written plainly elsewhere;
+//   - values of types that contain a typed atomic (directly, or through
+//     nested structs and arrays) must not be copied: no value receivers, no
+//     `y := x` / `y := *p` copies, no passing by value — the copy shears the
+//     atomic's state from its address, exactly like copying a sync.Mutex.
+//
+// Fresh values (composite literals, new(T), function call results) may be
+// assigned; it is copying an existing, possibly-shared value that is flagged.
+var AtomicCheck = &Analyzer{
+	Name: "atomiccheck",
+	Doc:  "atomically-accessed fields must never be accessed plainly, and atomics must not be copied",
+	Run:  runAtomicCheck,
+}
+
+func runAtomicCheck(p *Pass) {
+	atomicFields, exempt := collectAtomicFields(p)
+	for _, f := range p.Pkg.Files {
+		checkPlainAccess(p, f, atomicFields, exempt)
+		checkAtomicCopies(p, f)
+	}
+	checkValueReceivers(p)
+}
+
+// collectAtomicFields finds every variable whose address is taken as an
+// argument of a sync/atomic function call anywhere in the package. The
+// second map records those &x expressions themselves, which are the
+// sanctioned accesses.
+func collectAtomicFields(p *Pass) (map[*types.Var]bool, map[ast.Expr]bool) {
+	fields := make(map[*types.Var]bool)
+	exempt := make(map[ast.Expr]bool)
+	for _, f := range p.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeOf(p.Pkg.Info, call)
+			if !isPkgFunc(fn, "sync/atomic") {
+				return true
+			}
+			for _, arg := range call.Args {
+				u, ok := ast.Unparen(arg).(*ast.UnaryExpr)
+				if !ok || u.Op != token.AND {
+					continue
+				}
+				if v := varOf(p.Pkg.Info, u.X); v != nil {
+					fields[v] = true
+					exempt[u.X] = true
+				}
+			}
+			return true
+		})
+	}
+	return fields, exempt
+}
+
+// varOf resolves an expression to the variable it denotes (x, x.f, (*p).f).
+func varOf(info *types.Info, e ast.Expr) *types.Var {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		v, _ := info.Uses[e].(*types.Var)
+		if v == nil {
+			v, _ = info.Defs[e].(*types.Var)
+		}
+		return v
+	case *ast.SelectorExpr:
+		v, _ := info.Uses[e.Sel].(*types.Var)
+		return v
+	}
+	return nil
+}
+
+// checkPlainAccess flags non-atomic uses of variables the package accesses
+// atomically. An access is atomic when its address is taken directly into a
+// sync/atomic call; everything else — plain reads, plain assignments,
+// increments — is mixed access.
+func checkPlainAccess(p *Pass, f *ast.File, atomicFields map[*types.Var]bool, exempt map[ast.Expr]bool) {
+	if len(atomicFields) == 0 {
+		return
+	}
+	info := p.Pkg.Info
+	var stack []ast.Node
+	ast.Inspect(f, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		stack = append(stack, n)
+		var v *types.Var
+		var at ast.Expr
+		switch e := n.(type) {
+		case *ast.Ident:
+			// Only bare identifiers (locals/globals); field uses are
+			// reached through their SelectorExpr below.
+			if len(stack) >= 2 {
+				if sel, ok := stack[len(stack)-2].(*ast.SelectorExpr); ok && sel.Sel == e {
+					return true
+				}
+			}
+			v, _ = info.Uses[e].(*types.Var)
+			at = e
+		case *ast.SelectorExpr:
+			v, _ = info.Uses[e.Sel].(*types.Var)
+			at = e
+		default:
+			return true
+		}
+		if v == nil || exempt[at] || !atomicFields[v] {
+			return true
+		}
+		// Declaration sites and struct literal keys are not accesses.
+		if id, ok := at.(*ast.Ident); ok && info.Defs[id] != nil {
+			return true
+		}
+		verb := "read"
+		if isMutatingContext(info, stack, at) {
+			verb = "write"
+		}
+		p.Reportf(at.Pos(), "use atomic.Load/atomic.Store (or the typed atomic's methods) for every access of "+v.Name(),
+			"plain %s of %s, which is accessed atomically elsewhere in this package", verb, v.Name())
+		return true
+	})
+}
+
+// isMutatingContext reports whether the accessed expression is written:
+// assignment target, inc/dec operand, or address-taken outside an atomic
+// call.
+func isMutatingContext(info *types.Info, stack []ast.Node, at ast.Expr) bool {
+	if len(stack) < 2 {
+		return false
+	}
+	for i := len(stack) - 2; i >= 0; i-- {
+		switch parent := stack[i].(type) {
+		case *ast.ParenExpr:
+			continue
+		case *ast.AssignStmt:
+			for _, lhs := range parent.Lhs {
+				if ast.Unparen(lhs) == at {
+					return true
+				}
+			}
+			return false
+		case *ast.IncDecStmt:
+			return ast.Unparen(parent.X) == at
+		case *ast.UnaryExpr:
+			return parent.Op == token.AND && ast.Unparen(parent.X) == at
+		default:
+			return false
+		}
+	}
+	return false
+}
+
+// containsAtomic reports whether t holds a sync/atomic typed value by value,
+// traversing structs and arrays but not pointers, slices, maps or channels
+// (those share, they don't copy).
+func containsAtomic(t types.Type) bool {
+	seen := make(map[types.Type]bool)
+	var walk func(types.Type) bool
+	walk = func(t types.Type) bool {
+		if seen[t] {
+			return false
+		}
+		seen[t] = true
+		if named, ok := t.(*types.Named); ok {
+			obj := named.Obj()
+			if obj.Pkg() != nil && obj.Pkg().Path() == "sync/atomic" {
+				// atomic.Value, atomic.Int64, atomic.Pointer[T], ...
+				return true
+			}
+		}
+		switch u := t.Underlying().(type) {
+		case *types.Struct:
+			for i := 0; i < u.NumFields(); i++ {
+				if walk(u.Field(i).Type()) {
+					return true
+				}
+			}
+		case *types.Array:
+			return walk(u.Elem())
+		}
+		return false
+	}
+	return walk(t)
+}
+
+// checkAtomicCopies flags assignments and call arguments that copy a value
+// containing typed atomics.
+func checkAtomicCopies(p *Pass, f *ast.File) {
+	info := p.Pkg.Info
+	copied := func(e ast.Expr) bool {
+		switch ast.Unparen(e).(type) {
+		case *ast.CompositeLit, *ast.CallExpr:
+			return false // fresh value, not a copy of shared state
+		}
+		t := info.TypeOf(e)
+		return t != nil && containsAtomic(t)
+	}
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for i, rhs := range n.Rhs {
+				// Discarding to blank copies nothing anyone can observe.
+				if len(n.Lhs) == len(n.Rhs) {
+					if id, ok := ast.Unparen(n.Lhs[i]).(*ast.Ident); ok && id.Name == "_" {
+						continue
+					}
+				}
+				if copied(rhs) {
+					p.Reportf(rhs.Pos(), "share the value through a pointer instead of copying it",
+						"copy of a value containing a typed atomic shears its state from its address")
+				}
+			}
+		case *ast.CallExpr:
+			fn := calleeOf(info, n)
+			if fn == nil {
+				return true
+			}
+			sig, ok := fn.Type().(*types.Signature)
+			if !ok {
+				return true
+			}
+			for i, arg := range n.Args {
+				if i >= sig.Params().Len() {
+					break
+				}
+				pt := sig.Params().At(i).Type()
+				if _, isPtr := pt.Underlying().(*types.Pointer); isPtr {
+					continue
+				}
+				if copied(arg) {
+					p.Reportf(arg.Pos(), "take a pointer parameter for atomic-bearing types",
+						"passing a value containing a typed atomic copies it")
+				}
+			}
+		}
+		return true
+	})
+}
+
+// checkValueReceivers flags methods declared with a value receiver on a type
+// that contains typed atomics: every call copies the receiver.
+func checkValueReceivers(p *Pass) {
+	for _, f := range p.Pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Recv == nil || len(fd.Recv.List) != 1 {
+				continue
+			}
+			fn, ok := p.Pkg.Info.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			recv := fn.Type().(*types.Signature).Recv()
+			if recv == nil {
+				continue
+			}
+			if _, isPtr := recv.Type().(*types.Pointer); isPtr {
+				continue
+			}
+			if containsAtomic(recv.Type()) {
+				p.Reportf(fd.Name.Pos(), "declare the method on *"+recvTypeName(recv.Type()),
+					"value receiver on %s copies its atomic fields on every call", recvTypeName(recv.Type()))
+			}
+		}
+	}
+}
+
+// recvTypeName names a receiver type for diagnostics.
+func recvTypeName(t types.Type) string {
+	if named, ok := t.(*types.Named); ok {
+		return named.Obj().Name()
+	}
+	return t.String()
+}

@@ -1,0 +1,111 @@
+package analysis
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+)
+
+// Baselines let a new analyzer land strict-on-new-code: existing findings
+// are recorded once by stable fingerprint, suppressed on later runs, and any
+// finding not in the file still fails the build. The fingerprint is
+// analyzer + file + message — deliberately not the line number, so an
+// unrelated edit that shifts a suppressed finding down the file does not
+// resurface it. Two identical findings in one file (same analyzer, same
+// message) share a fingerprint; the baseline stores a count and suppresses
+// at most that many, so introducing a third copy of a baselined bug is
+// still reported.
+
+// baselineVersion pins the file format; a reader rejects other versions
+// instead of mis-suppressing.
+const baselineVersion = 1
+
+// baselineEntry is one (fingerprint, count) pair. Entries are sorted by
+// fingerprint so the written file is byte-deterministic.
+type baselineEntry struct {
+	Fingerprint string `json:"fingerprint"`
+	Count       int    `json:"count"`
+}
+
+// baselineFile is the on-disk shape. Keys are pinned by the baseline
+// round-trip test.
+type baselineFile struct {
+	Version int             `json:"version"`
+	Entries []baselineEntry `json:"entries"`
+}
+
+// Fingerprint returns the diagnostic's stable identity for baselining:
+// the first 16 hex digits of sha256(analyzer NUL file NUL message).
+func (d Diagnostic) Fingerprint() string {
+	h := sha256.Sum256([]byte(d.Analyzer + "\x00" + d.File + "\x00" + d.Message))
+	return hex.EncodeToString(h[:8])
+}
+
+// WriteBaseline records diags into path, replacing any previous baseline.
+func WriteBaseline(path string, diags []Diagnostic) error {
+	counts := make(map[string]int)
+	for _, d := range diags {
+		counts[d.Fingerprint()]++
+	}
+	entries := make([]baselineEntry, 0, len(counts))
+	for fp, n := range counts {
+		entries = append(entries, baselineEntry{Fingerprint: fp, Count: n})
+	}
+	sort.Slice(entries, func(i, j int) bool { return entries[i].Fingerprint < entries[j].Fingerprint })
+	data, err := json.MarshalIndent(baselineFile{Version: baselineVersion, Entries: entries}, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// ReadBaseline loads a baseline written by WriteBaseline. A missing file is
+// not an error — it behaves as an empty baseline, so a fresh checkout can
+// run `lint -baseline lint.baseline` before anyone has written one.
+func ReadBaseline(path string) (map[string]int, error) {
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return map[string]int{}, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	var bf baselineFile
+	if err := json.Unmarshal(data, &bf); err != nil {
+		return nil, fmt.Errorf("analysis: baseline %s: %w", path, err)
+	}
+	if bf.Version != baselineVersion {
+		return nil, fmt.Errorf("analysis: baseline %s: version %d, want %d", path, bf.Version, baselineVersion)
+	}
+	counts := make(map[string]int, len(bf.Entries))
+	for _, e := range bf.Entries {
+		counts[e.Fingerprint] += e.Count
+	}
+	return counts, nil
+}
+
+// FilterBaseline drops diagnostics covered by the baseline, consuming at
+// most the recorded count per fingerprint in the diags' (sorted) order.
+// What remains is new relative to the baseline.
+func FilterBaseline(diags []Diagnostic, baseline map[string]int) []Diagnostic {
+	if len(baseline) == 0 {
+		return diags
+	}
+	budget := make(map[string]int, len(baseline))
+	for fp, n := range baseline {
+		budget[fp] = n
+	}
+	out := make([]Diagnostic, 0, len(diags))
+	for _, d := range diags {
+		fp := d.Fingerprint()
+		if budget[fp] > 0 {
+			budget[fp]--
+			continue
+		}
+		out = append(out, d)
+	}
+	return out
+}

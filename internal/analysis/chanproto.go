@@ -1,0 +1,393 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// ChanProto checks the send/receive/close protocol of function-local
+// channels. It only analyzes channels whose every use is visible inside the
+// declaring function (including its closures and go statements); a channel
+// that escapes — returned, stored in a field, passed to another function —
+// is skipped rather than guessed at.
+//
+// Checked, per local channel:
+//
+//   - sends with no receive anywhere in the function: the send blocks
+//     forever (unbuffered) or the values are never consumed (buffered);
+//   - close on the receiving side: a scope that receives from the channel
+//     must not also close it while another scope sends — only the sender
+//     knows when the stream ends;
+//   - double-close reachability: two close calls not separated by mutually
+//     exclusive branches, or a close inside a loop, panics on the second
+//     execution;
+//   - sends on a buffered channel inside an unbounded `for {}` loop with no
+//     receive in the same loop: once the buffer fills, every iteration
+//     blocks and queued work grows without bound up to the cap.
+var ChanProto = &Analyzer{
+	Name: "chanproto",
+	Doc:  "function-local channels must have a matching receive path, sender-side close, and no reachable double-close",
+	Run:  runChanProto,
+}
+
+const (
+	chanSend = iota
+	chanRecv
+	chanClose
+)
+
+// chanUse is one syntactic use of a tracked channel.
+type chanUse struct {
+	kind  int
+	pos   token.Pos
+	scope *ast.FuncLit // innermost closure containing the use; nil = the declaring function body
+	path  []ast.Node   // ancestors from the function body down to the use
+}
+
+// chanInfo aggregates all uses of one local channel.
+type chanInfo struct {
+	name     string
+	buffered bool
+	declPos  token.Pos
+	uses     []chanUse
+	escaped  bool
+}
+
+func runChanProto(p *Pass) {
+	for _, f := range p.Pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkChannels(p, fd.Body)
+		}
+	}
+}
+
+func checkChannels(p *Pass, body *ast.BlockStmt) {
+	info := p.Pkg.Info
+	chans := collectLocalChans(p, body)
+	if len(chans) == 0 {
+		return
+	}
+	var stack []ast.Node
+	ast.Inspect(body, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		stack = append(stack, n)
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		v, _ := info.Uses[id].(*types.Var)
+		ci := chans[v]
+		if ci == nil {
+			return true
+		}
+		use := classifyChanUse(info, stack, id)
+		use.path = append([]ast.Node(nil), stack...)
+		use.scope = innermostFuncLit(stack)
+		ci.uses = append(ci.uses, use)
+		return true
+	})
+	for _, v := range sortedChanVars(chans) {
+		reportChan(p, chans[v])
+	}
+}
+
+// collectLocalChans finds `ch := make(chan T[, n])` declarations in body.
+func collectLocalChans(p *Pass, body *ast.BlockStmt) map[*types.Var]*chanInfo {
+	info := p.Pkg.Info
+	out := make(map[*types.Var]*chanInfo)
+	ast.Inspect(body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || as.Tok != token.DEFINE || len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+			return true
+		}
+		id, ok := as.Lhs[0].(*ast.Ident)
+		if !ok {
+			return true
+		}
+		v, ok := info.Defs[id].(*types.Var)
+		if !ok {
+			return true
+		}
+		call, ok := ast.Unparen(as.Rhs[0]).(*ast.CallExpr)
+		if !ok || !isBuiltin(info, call, "make") || len(call.Args) == 0 {
+			return true
+		}
+		if _, ok := info.TypeOf(as.Rhs[0]).Underlying().(*types.Chan); !ok {
+			return true
+		}
+		ci := &chanInfo{name: id.Name, declPos: id.Pos()}
+		if len(call.Args) >= 2 {
+			ci.buffered = true
+			if tv, ok := info.Types[call.Args[1]]; ok && tv.Value != nil {
+				if c, exact := constant.Int64Val(tv.Value); exact && c == 0 {
+					ci.buffered = false
+				}
+			}
+		}
+		out[v] = ci
+		return true
+	})
+	return out
+}
+
+// classifyChanUse decides what one identifier occurrence does to the channel
+// from its immediate parent node. Anything that is not a send, receive,
+// close, or len/cap marks the channel as escaped.
+func classifyChanUse(info *types.Info, stack []ast.Node, id *ast.Ident) chanUse {
+	use := chanUse{kind: -1, pos: id.Pos()}
+	if len(stack) < 2 {
+		return use
+	}
+	parent := stack[len(stack)-2]
+	if _, ok := parent.(*ast.ParenExpr); ok && len(stack) >= 3 {
+		parent = stack[len(stack)-3]
+	}
+	switch pn := parent.(type) {
+	case *ast.SendStmt:
+		if ast.Unparen(pn.Chan) == id {
+			use.kind = chanSend
+			return use
+		}
+	case *ast.UnaryExpr:
+		if pn.Op == token.ARROW && ast.Unparen(pn.X) == id {
+			use.kind = chanRecv
+			return use
+		}
+	case *ast.RangeStmt:
+		if ast.Unparen(pn.X) == id {
+			use.kind = chanRecv
+			return use
+		}
+	case *ast.CallExpr:
+		if isBuiltin(info, pn, "close") && len(pn.Args) == 1 && ast.Unparen(pn.Args[0]) == id {
+			use.kind = chanClose
+			return use
+		}
+		if isBuiltin(info, pn, "len") || isBuiltin(info, pn, "cap") {
+			use.kind = -2 // neutral
+			return use
+		}
+	}
+	return use // kind -1 = escape
+}
+
+// innermostFuncLit returns the closest enclosing closure, or nil if the use
+// sits directly in the declaring function's body.
+func innermostFuncLit(stack []ast.Node) *ast.FuncLit {
+	for i := len(stack) - 1; i >= 0; i-- {
+		if fl, ok := stack[i].(*ast.FuncLit); ok {
+			return fl
+		}
+	}
+	return nil
+}
+
+// sortedChanVars orders channels by declaration position so diagnostics are
+// emitted deterministically regardless of map iteration order.
+func sortedChanVars(chans map[*types.Var]*chanInfo) []*types.Var {
+	vars := make([]*types.Var, 0, len(chans))
+	for v := range chans {
+		vars = append(vars, v)
+	}
+	sort.Slice(vars, func(i, j int) bool { return chans[vars[i]].declPos < chans[vars[j]].declPos })
+	return vars
+}
+
+func reportChan(p *Pass, ci *chanInfo) {
+	var sends, recvs, closes []chanUse
+	for _, u := range ci.uses {
+		switch u.kind {
+		case chanSend:
+			sends = append(sends, u)
+		case chanRecv:
+			recvs = append(recvs, u)
+		case chanClose:
+			closes = append(closes, u)
+		case -2: // len/cap: neutral
+		default:
+			ci.escaped = true
+		}
+	}
+	if ci.escaped {
+		return
+	}
+	if len(sends) > 0 && len(recvs) == 0 {
+		p.Reportf(sends[0].pos, "add a receive (<-"+ci.name+", range, or select case), or let the channel escape to its consumer",
+			"send on %s but no receive path in this function", ci.name)
+	}
+	checkCloseSide(p, ci, sends, recvs, closes)
+	checkDoubleClose(p, ci, closes)
+	checkBufferedLoopSends(p, ci, sends, recvs)
+}
+
+// checkCloseSide flags a close executed in a scope that receives from the
+// channel while a different scope sends on it: only the sending side can
+// know no more sends are coming.
+func checkCloseSide(p *Pass, ci *chanInfo, sends, recvs, closes []chanUse) {
+	for _, c := range closes {
+		receivesHere := false
+		for _, r := range recvs {
+			if r.scope == c.scope {
+				receivesHere = true
+				break
+			}
+		}
+		if !receivesHere {
+			continue
+		}
+		for _, s := range sends {
+			if s.scope != c.scope {
+				p.Reportf(c.pos, "move close("+ci.name+") to the sending goroutine (or a dedicated closer after joining the senders)",
+					"close of %s on its receiving side while another goroutine sends", ci.name)
+				break
+			}
+		}
+	}
+}
+
+// checkDoubleClose flags close calls that can both execute: two closes not
+// separated by mutually exclusive branches, or one close inside a loop whose
+// body does not terminate right after it.
+func checkDoubleClose(p *Pass, ci *chanInfo, closes []chanUse) {
+	for _, c := range closes {
+		if closeInLoop(c) {
+			p.Reportf(c.pos, "close "+ci.name+" once, after the loop",
+				"close of %s inside a loop closes it twice", ci.name)
+			return
+		}
+	}
+	for i := 0; i < len(closes); i++ {
+		for j := i + 1; j < len(closes); j++ {
+			if !exclusivePaths(closes[i].path, closes[j].path) {
+				p.Reportf(closes[j].pos, "guard the second close or consolidate to one owner",
+					"second close of %s is reachable after the close at line %d", ci.name, p.L.Fset.Position(closes[i].pos).Line)
+				return
+			}
+		}
+	}
+}
+
+// closeInLoop reports whether a close executes per loop iteration: a
+// For/Range ancestor with no intervening closure boundary, unless the
+// statement list holding the close ends in return or break (the
+// `case <-done: close(ch); return` idiom closes once).
+func closeInLoop(c chanUse) bool {
+	loopIdx := -1
+	for i, n := range c.path {
+		switch n.(type) {
+		case *ast.ForStmt, *ast.RangeStmt:
+			loopIdx = i
+		case *ast.FuncLit:
+			loopIdx = -1 // a closure resets the iteration context for the close itself
+		}
+	}
+	if loopIdx == -1 {
+		return false
+	}
+	// Terminal statement lists after the close mean one execution at most.
+	for i := len(c.path) - 1; i > loopIdx; i-- {
+		var list []ast.Stmt
+		switch n := c.path[i].(type) {
+		case *ast.BlockStmt:
+			list = n.List
+		case *ast.CaseClause:
+			list = n.Body
+		case *ast.CommClause:
+			list = n.Body
+		default:
+			continue
+		}
+		if len(list) == 0 {
+			return true
+		}
+		switch last := list[len(list)-1].(type) {
+		case *ast.ReturnStmt:
+			return false
+		case *ast.BranchStmt:
+			if last.Tok == token.BREAK || last.Tok == token.GOTO {
+				return false
+			}
+		}
+		return true
+	}
+	return true
+}
+
+// exclusivePaths reports whether two ancestor paths diverge into mutually
+// exclusive branches (then/else of one if, different cases of one switch or
+// select), so at most one of the two uses executes per pass.
+func exclusivePaths(a, b []ast.Node) bool {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		if a[i] == b[i] {
+			continue
+		}
+		// First divergence. Exclusive iff the siblings are distinct
+		// branches of the shared parent.
+		if i == 0 {
+			return false
+		}
+		switch parent := a[i-1].(type) {
+		case *ast.IfStmt:
+			ab, bb := a[i], b[i]
+			return (ab == parent.Body && bb == parent.Else) || (ab == parent.Else && bb == parent.Body)
+		case *ast.BlockStmt:
+			_, aCase := a[i].(*ast.CaseClause)
+			_, bCase := b[i].(*ast.CaseClause)
+			if aCase && bCase {
+				return true
+			}
+			_, aComm := a[i].(*ast.CommClause)
+			_, bComm := b[i].(*ast.CommClause)
+			return aComm && bComm
+		}
+		return false
+	}
+	return false
+}
+
+// checkBufferedLoopSends flags sends on a buffered channel inside an
+// unbounded `for {}` loop with no receive in the same loop body.
+func checkBufferedLoopSends(p *Pass, ci *chanInfo, sends, recvs []chanUse) {
+	if !ci.buffered {
+		return
+	}
+	for _, s := range sends {
+		var loop *ast.ForStmt
+		for _, n := range s.path {
+			if f, ok := n.(*ast.ForStmt); ok && f.Cond == nil {
+				loop = f
+			}
+		}
+		if loop == nil {
+			continue
+		}
+		drained := false
+		for _, r := range recvs {
+			for _, n := range r.path {
+				if n == loop {
+					drained = true
+					break
+				}
+			}
+		}
+		if !drained {
+			p.Reportf(s.pos, "receive from "+ci.name+" inside the loop or bound the loop",
+				"send on buffered %s in an unbounded loop with no receive; the buffer fills and every later iteration blocks", ci.name)
+			return
+		}
+	}
+}

@@ -1,0 +1,268 @@
+package analysis
+
+import (
+	"strings"
+	"testing"
+)
+
+// The concurrency mutation tests follow TestMutationUnsortedExport: each
+// source is correct as written and clean under its analyzer; deleting one
+// load-bearing line (a Lock call, a ctx.Done case, an atomic load) must
+// produce exactly one finding from exactly the analyzer that owns the
+// invariant. This proves each analyzer fires on its seeded violation and
+// nothing else.
+
+const lockSrc = `package export
+
+import "sync"
+
+type counter struct {
+	mu sync.Mutex
+	//depburst:guardedby mu
+	n int
+}
+
+func (c *counter) Bump() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.n++
+}
+`
+
+func TestMutationDeletedLock(t *testing.T) {
+	clean := writeModule(t, lockSrc)
+	diags, err := Run(clean, []string{"./..."}, []*Analyzer{LockDisc})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 0 {
+		t.Fatalf("locked counter should be clean, got: %+v", diags)
+	}
+
+	mutated := strings.Replace(lockSrc, "\tc.mu.Lock()\n\tdefer c.mu.Unlock()\n", "", 1)
+	if mutated == lockSrc {
+		t.Fatal("mutation did not apply")
+	}
+	diags, err = Run(writeModule(t, mutated), []string{"./..."}, []*Analyzer{LockDisc})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 1 || diags[0].Analyzer != "lockdisc" {
+		t.Fatalf("deleting the Lock call should yield exactly one lockdisc finding, got: %+v", diags)
+	}
+	if !strings.Contains(diags[0].Message, "write to n") {
+		t.Errorf("finding should name the unguarded write: %s", diags[0].Message)
+	}
+}
+
+const ctxLoopSrc = `package export
+
+import "context"
+
+func Watch(ctx context.Context, work chan int) {
+	go func() {
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case v := <-work:
+				_ = v
+			}
+		}
+	}()
+}
+`
+
+func TestMutationDeletedCtxDone(t *testing.T) {
+	clean := writeModule(t, ctxLoopSrc)
+	diags, err := Run(clean, []string{"./..."}, []*Analyzer{GoLife})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 0 {
+		t.Fatalf("ctx-selecting loop should be clean, got: %+v", diags)
+	}
+
+	mutated := strings.Replace(ctxLoopSrc, "\t\t\tcase <-ctx.Done():\n\t\t\t\treturn\n", "", 1)
+	if mutated == ctxLoopSrc {
+		t.Fatal("mutation did not apply")
+	}
+	diags, err = Run(writeModule(t, mutated), []string{"./..."}, []*Analyzer{GoLife})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 1 || diags[0].Analyzer != "golife" {
+		t.Fatalf("deleting the ctx.Done case should yield exactly one golife finding, got: %+v", diags)
+	}
+	if !strings.Contains(diags[0].Message, "no termination path") {
+		t.Errorf("finding should name the missing exit: %s", diags[0].Message)
+	}
+}
+
+const atomicSrc = `package export
+
+import "sync/atomic"
+
+type stats struct {
+	hits int64
+}
+
+func (s *stats) Bump() {
+	atomic.AddInt64(&s.hits, 1)
+}
+
+func (s *stats) Read() int64 {
+	return atomic.LoadInt64(&s.hits)
+}
+`
+
+func TestMutationPlainAtomicRead(t *testing.T) {
+	clean := writeModule(t, atomicSrc)
+	diags, err := Run(clean, []string{"./..."}, []*Analyzer{AtomicCheck})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 0 {
+		t.Fatalf("all-atomic stats should be clean, got: %+v", diags)
+	}
+
+	mutated := strings.Replace(atomicSrc, "atomic.LoadInt64(&s.hits)", "s.hits", 1)
+	if mutated == atomicSrc {
+		t.Fatal("mutation did not apply")
+	}
+	diags, err = Run(writeModule(t, mutated), []string{"./..."}, []*Analyzer{AtomicCheck})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 1 || diags[0].Analyzer != "atomiccheck" {
+		t.Fatalf("replacing the atomic load should yield exactly one atomiccheck finding, got: %+v", diags)
+	}
+	if !strings.Contains(diags[0].Message, "plain read of hits") {
+		t.Errorf("finding should name the plain read: %s", diags[0].Message)
+	}
+}
+
+const pipeSrc = `package export
+
+func Drain(items []int) int {
+	ch := make(chan int)
+	go func() {
+		for _, v := range items {
+			ch <- v
+		}
+		close(ch)
+	}()
+	total := 0
+	for v := range ch {
+		total += v
+	}
+	return total
+}
+`
+
+func TestMutationDeletedReceive(t *testing.T) {
+	clean := writeModule(t, pipeSrc)
+	diags, err := Run(clean, []string{"./..."}, []*Analyzer{ChanProto})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 0 {
+		t.Fatalf("producer/consumer pipeline should be clean, got: %+v", diags)
+	}
+
+	mutated := strings.Replace(pipeSrc, "\tfor v := range ch {\n\t\ttotal += v\n\t}\n", "", 1)
+	if mutated == pipeSrc {
+		t.Fatal("mutation did not apply")
+	}
+	diags, err = Run(writeModule(t, mutated), []string{"./..."}, []*Analyzer{ChanProto})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 1 || diags[0].Analyzer != "chanproto" {
+		t.Fatalf("deleting the receive loop should yield exactly one chanproto finding, got: %+v", diags)
+	}
+	if !strings.Contains(diags[0].Message, "no receive path") {
+		t.Errorf("finding should name the missing receive: %s", diags[0].Message)
+	}
+}
+
+// TestLockedHelperTrusted pins the //depburst:locked contract: the helper
+// body is analyzed with the receiver's mutex held, and removing the
+// directive immediately re-flags the access.
+func TestLockedHelperTrusted(t *testing.T) {
+	src := `package export
+
+import "sync"
+
+type reg struct {
+	mu sync.Mutex
+	//depburst:guardedby mu
+	m map[string]int
+}
+
+func (r *reg) Get(k string) int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.get(k)
+}
+
+//depburst:locked mu
+func (r *reg) get(k string) int {
+	return r.m[k]
+}
+`
+	diags, err := Run(writeModule(t, src), []string{"./..."}, []*Analyzer{LockDisc})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 0 {
+		t.Fatalf("locked helper should be trusted, got: %+v", diags)
+	}
+
+	mutated := strings.Replace(src, "//depburst:locked mu\n", "", 1)
+	diags, err = Run(writeModule(t, mutated), []string{"./..."}, []*Analyzer{LockDisc})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 1 {
+		t.Fatalf("unannotated helper should be flagged once, got: %+v", diags)
+	}
+}
+
+// TestRWLockUpgradeRequired pins the RWMutex rule: reads pass under RLock,
+// and swapping one read for a write under the same RLock is flagged as an
+// upgrade violation, not a generic missing-lock finding.
+func TestRWLockUpgradeRequired(t *testing.T) {
+	src := `package export
+
+import "sync"
+
+type gauges struct {
+	mu sync.RWMutex
+	//depburst:guardedby mu
+	v float64
+}
+
+func (g *gauges) Snapshot() float64 {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return g.v
+}
+`
+	diags, err := Run(writeModule(t, src), []string{"./..."}, []*Analyzer{LockDisc})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 0 {
+		t.Fatalf("RLock read should be clean, got: %+v", diags)
+	}
+
+	mutated := strings.Replace(src, "return g.v", "g.v = 0\n\treturn g.v", 1)
+	diags, err = Run(writeModule(t, mutated), []string{"./..."}, []*Analyzer{LockDisc})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 1 || !strings.Contains(diags[0].Message, "under RLock only") {
+		t.Fatalf("write under RLock should be flagged as an upgrade violation, got: %+v", diags)
+	}
+}

@@ -26,6 +26,10 @@ var goldenCases = []struct {
 	{CtxFlow, []string{"./ctxflow"}},
 	{NilReg, []string{"./nilreg/..."}},
 	{GoldenIO, []string{"./goldenio"}},
+	{LockDisc, []string{"./lockdisc"}},
+	{GoLife, []string{"./golife"}},
+	{AtomicCheck, []string{"./atomiccheck"}},
+	{ChanProto, []string{"./chanproto"}},
 }
 
 // renderDiags formats diagnostics the way the goldens store them.

@@ -1,0 +1,423 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// GoLife enforces goroutine lifecycle hygiene: the fleet-scale refactors the
+// ROADMAP plans (shard coordinators, per-node samplers) multiply long-lived
+// goroutines, and a leaked one is invisible until a process refuses to
+// drain. Every `go` statement must have a provable termination story:
+//
+//   - the spawned body contains no unbounded loop (a straight-line goroutine
+//     ends when its work does), or
+//   - every unbounded `for {}` loop blocks on a channel — a select with a
+//     receive case, or a direct receive — and carries an exit (return or
+//     break), the ctx.Done()/quit-channel idiom, or
+//   - the goroutine is joined: its body calls Done on a sync.WaitGroup
+//     (errgroup-style counters with a Done method count too), or
+//   - the go statement is annotated //depburst:daemon -- <reason>.
+//
+// Two capture hazards are flagged alongside: a go closure referencing its
+// enclosing for/range loop variables directly (pass them as arguments — the
+// pre-Go1.22 rebinding bug, and still a correctness trap when the module
+// version is ever lowered), and a go closure assigning to a variable of the
+// enclosing function without synchronization (no mutex held at the write, no
+// sync.Once.Do wrapper) — a write-write or write-read race with the spawner.
+var GoLife = &Analyzer{
+	Name: "golife",
+	Doc:  "go statements must terminate (ctx/quit loop exit, WaitGroup join) or be //depburst:daemon",
+	Run:  runGoLife,
+}
+
+func runGoLife(p *Pass) {
+	for _, f := range p.Pkg.Files {
+		daemon := daemonLines(p, f)
+		var loops []ast.Node // enclosing for/range statements
+		var stack []ast.Node
+		ast.Inspect(f, func(n ast.Node) bool {
+			if n == nil {
+				top := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				if len(loops) > 0 && loops[len(loops)-1] == top {
+					loops = loops[:len(loops)-1]
+				}
+				return true
+			}
+			stack = append(stack, n)
+			switch s := n.(type) {
+			case *ast.ForStmt, *ast.RangeStmt:
+				loops = append(loops, s)
+			case *ast.GoStmt:
+				checkGoStmt(p, s, daemon, loops)
+			}
+			return true
+		})
+	}
+}
+
+// daemonLines indexes //depburst:daemon directives: the directive's own line
+// and the next, mirroring allow placement. A directive without a reason
+// (after "--" or plain trailing words) is reported and ignored.
+func daemonLines(p *Pass, f *ast.File) map[int]bool {
+	lines := make(map[int]bool)
+	for _, grp := range f.Comments {
+		for _, c := range grp.List {
+			rest, ok := strings.CutPrefix(c.Text, directiveDaemon)
+			if !ok {
+				continue
+			}
+			reason := strings.TrimSpace(strings.TrimPrefix(strings.TrimSpace(rest), "--"))
+			pos := p.L.Fset.Position(c.Pos())
+			if reason == "" {
+				p.Reportf(c.Pos(), "write //depburst:daemon -- <why this goroutine may outlive its spawner>",
+					"//depburst:daemon directive without a reason")
+				continue
+			}
+			lines[pos.Line] = true
+			lines[pos.Line+1] = true
+		}
+	}
+	return lines
+}
+
+// checkGoStmt applies the lifecycle rules to one go statement.
+func checkGoStmt(p *Pass, g *ast.GoStmt, daemon map[int]bool, loops []ast.Node) {
+	if daemon[p.L.Fset.Position(g.Pos()).Line] {
+		return
+	}
+	body := goBody(p, g)
+	if body == nil {
+		p.Reportf(g.Pos(), "spawn a func literal or a module function golife can see into, or annotate //depburst:daemon -- <reason>",
+			"go statement spawns a dynamically-resolved function; its lifecycle cannot be verified")
+		return
+	}
+	if fl, ok := ast.Unparen(g.Call.Fun).(*ast.FuncLit); ok {
+		checkLoopVarCapture(p, g, fl, loops)
+		checkCapturedWrites(p, fl)
+	}
+	if joined(p.Pkg.Info, body) {
+		return
+	}
+	for _, loop := range unboundedLoops(body) {
+		if !loopHasExit(p.Pkg.Info, loop) {
+			p.Reportf(loop.Pos(), "add a `case <-ctx.Done(): return` (or quit-channel receive) to the loop, join via sync.WaitGroup, or annotate the go statement //depburst:daemon -- <reason>",
+				"goroutine loop has no termination path (no channel receive with an exit, no join)")
+		}
+	}
+}
+
+// goBody resolves the statements the goroutine will run: a func literal's
+// body, or the declaration of a statically-resolved module function. nil
+// means the callee is dynamic.
+func goBody(p *Pass, g *ast.GoStmt) *ast.BlockStmt {
+	if fl, ok := ast.Unparen(g.Call.Fun).(*ast.FuncLit); ok {
+		return fl.Body
+	}
+	fn := calleeOf(p.Pkg.Info, g.Call)
+	if fn == nil {
+		return nil
+	}
+	if _, decl := p.L.FuncDecl(fn); decl != nil {
+		return decl.Body
+	}
+	return nil
+}
+
+// joined reports whether the body signals completion through a WaitGroup:
+// any call to a method named Done on a sync.WaitGroup (or an errgroup-style
+// counter — any non-context type with a Done method taking no arguments).
+func joined(info *types.Info, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || found {
+			return !found
+		}
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != "Done" || len(call.Args) != 0 {
+			return true
+		}
+		selection, ok := info.Selections[sel]
+		if !ok {
+			return true
+		}
+		if _, ok := selection.Obj().(*types.Func); !ok {
+			return true
+		}
+		// ctx.Done() is a receive source, not a join; everything else named
+		// Done with no arguments is counted as a completion signal.
+		if isContextDone(info, sel) {
+			return true
+		}
+		found = true
+		return false
+	})
+	return found
+}
+
+// isContextDone matches x.Done() where x is a context.Context.
+func isContextDone(info *types.Info, sel *ast.SelectorExpr) bool {
+	t := info.TypeOf(sel.X)
+	if t == nil {
+		return false
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}
+
+// unboundedLoops collects `for {}` loops (no condition) in the body,
+// including inside nested func literals that run on this goroutine, but not
+// inside nested go statements (those get their own check).
+func unboundedLoops(body *ast.BlockStmt) []*ast.ForStmt {
+	var out []*ast.ForStmt
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.GoStmt:
+			return false
+		case *ast.ForStmt:
+			if n.Cond == nil {
+				out = append(out, n)
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// loopHasExit reports whether an unbounded loop blocks on a channel and can
+// leave: a select receive case or a direct receive expression, plus a return
+// or a break that applies to this loop.
+func loopHasExit(info *types.Info, loop *ast.ForStmt) bool {
+	receives := false
+	exits := false
+	depth := 0
+	ast.Inspect(loop.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.GoStmt, *ast.FuncLit:
+			return false
+		case *ast.ForStmt, *ast.RangeStmt:
+			depth++
+		case *ast.SelectStmt:
+			for _, c := range n.Body.List {
+				cc := c.(*ast.CommClause)
+				if cc.Comm == nil {
+					continue
+				}
+				if commReceives(cc.Comm) {
+					receives = true
+				}
+			}
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				receives = true
+			}
+		case *ast.ReturnStmt:
+			exits = true
+		case *ast.BranchStmt:
+			if n.Tok == token.BREAK && depth == 0 {
+				exits = true
+			}
+		}
+		return true
+	})
+	return receives && exits
+}
+
+// commReceives reports whether a select communication is a receive.
+func commReceives(comm ast.Stmt) bool {
+	switch c := comm.(type) {
+	case *ast.ExprStmt:
+		u, ok := ast.Unparen(c.X).(*ast.UnaryExpr)
+		return ok && u.Op == token.ARROW
+	case *ast.AssignStmt:
+		if len(c.Rhs) == 1 {
+			u, ok := ast.Unparen(c.Rhs[0]).(*ast.UnaryExpr)
+			return ok && u.Op == token.ARROW
+		}
+	}
+	return false
+}
+
+// checkLoopVarCapture flags go closures referencing the iteration variables
+// of an enclosing for/range statement instead of taking them as arguments.
+func checkLoopVarCapture(p *Pass, g *ast.GoStmt, fl *ast.FuncLit, loops []ast.Node) {
+	if len(loops) == 0 {
+		return
+	}
+	info := p.Pkg.Info
+	vars := make(map[types.Object]bool)
+	for _, loop := range loops {
+		switch l := loop.(type) {
+		case *ast.RangeStmt:
+			for _, e := range []ast.Expr{l.Key, l.Value} {
+				if id, ok := e.(*ast.Ident); ok && id != nil {
+					if obj := info.Defs[id]; obj != nil {
+						vars[obj] = true
+					}
+				}
+			}
+		case *ast.ForStmt:
+			if init, ok := l.Init.(*ast.AssignStmt); ok && init.Tok == token.DEFINE {
+				for _, e := range init.Lhs {
+					if id, ok := e.(*ast.Ident); ok {
+						if obj := info.Defs[id]; obj != nil {
+							vars[obj] = true
+						}
+					}
+				}
+			}
+		}
+	}
+	if len(vars) == 0 {
+		return
+	}
+	reported := make(map[types.Object]bool)
+	ast.Inspect(fl.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj := info.Uses[id]
+		if obj == nil || !vars[obj] || reported[obj] {
+			return true
+		}
+		reported[obj] = true
+		p.Reportf(id.Pos(), "pass "+id.Name+" to the closure as an argument (go func(x T){...}("+id.Name+"))",
+			"go closure captures loop variable %s by reference", id.Name)
+		return true
+	})
+}
+
+// checkCapturedWrites flags assignments inside a go closure to variables
+// declared outside it, unless the write is synchronized: made while a mutex
+// is lexically held inside the closure, wrapped in sync.Once.Do, or the
+// variable is atomic-typed (its methods, not assignment, would be the bug —
+// atomiccheck covers that).
+func checkCapturedWrites(p *Pass, fl *ast.FuncLit) {
+	info := p.Pkg.Info
+	var walk func(stmts []ast.Stmt, held int)
+	captured := func(e ast.Expr) *ast.Ident {
+		id, ok := ast.Unparen(e).(*ast.Ident)
+		if !ok {
+			return nil
+		}
+		v, ok := info.Uses[id].(*types.Var)
+		if !ok || v.IsField() {
+			return nil
+		}
+		// Package-level variables are shared state with their own story;
+		// only function-local captures are the silent-race shape.
+		if v.Parent() != nil && v.Parent().Parent() == types.Universe {
+			return nil
+		}
+		if v.Pos() >= fl.Body.Pos() && v.Pos() <= fl.Body.End() {
+			return nil // declared inside the closure
+		}
+		if v.Pos() >= fl.Type.Pos() && v.Pos() < fl.Body.Pos() {
+			return nil // closure parameter
+		}
+		return id
+	}
+	report := func(id *ast.Ident) {
+		p.Reportf(id.Pos(), "send the value over a channel, guard the write with a mutex, or make "+id.Name+" atomic",
+			"go closure writes captured variable %s without synchronization", id.Name)
+	}
+	var checkStmt func(s ast.Stmt, held int)
+	checkStmt = func(s ast.Stmt, held int) {
+		switch s := s.(type) {
+		case *ast.ExprStmt:
+			if call, ok := ast.Unparen(s.X).(*ast.CallExpr); ok {
+				if _, op, ok := lockCall(info, call); ok {
+					_ = op
+					return
+				}
+				// sync.Once.Do(func(){...}): the callback is synchronized.
+				if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok && sel.Sel.Name == "Do" {
+					if selection, ok := info.Selections[sel]; ok {
+						if fn, ok := selection.Obj().(*types.Func); ok && fn.Pkg() != nil && fn.Pkg().Path() == "sync" {
+							return
+						}
+					}
+				}
+			}
+		case *ast.AssignStmt:
+			if held == 0 {
+				for _, lhs := range s.Lhs {
+					if s.Tok == token.DEFINE {
+						continue
+					}
+					if id := captured(lhs); id != nil {
+						report(id)
+					}
+				}
+			}
+			return
+		case *ast.IncDecStmt:
+			if held == 0 {
+				if id := captured(s.X); id != nil {
+					report(id)
+				}
+			}
+			return
+		case *ast.BlockStmt:
+			walk(s.List, held)
+			return
+		case *ast.IfStmt:
+			if s.Init != nil {
+				checkStmt(s.Init, held)
+			}
+			walk(s.Body.List, held)
+			if s.Else != nil {
+				checkStmt(s.Else, held)
+			}
+			return
+		case *ast.ForStmt:
+			walk(s.Body.List, held)
+			return
+		case *ast.RangeStmt:
+			walk(s.Body.List, held)
+			return
+		case *ast.SelectStmt:
+			for _, c := range s.Body.List {
+				walk(c.(*ast.CommClause).Body, held)
+			}
+			return
+		case *ast.SwitchStmt:
+			for _, c := range s.Body.List {
+				walk(c.(*ast.CaseClause).Body, held)
+			}
+			return
+		case *ast.DeferStmt, *ast.GoStmt:
+			return // deferred/spawned bodies have their own stories
+		}
+	}
+	walk = func(stmts []ast.Stmt, held int) {
+		for _, s := range stmts {
+			if es, ok := s.(*ast.ExprStmt); ok {
+				if call, ok := ast.Unparen(es.X).(*ast.CallExpr); ok {
+					if _, op, ok := lockCall(info, call); ok {
+						switch op {
+						case "Lock", "RLock":
+							held++
+						case "Unlock", "RUnlock":
+							if held > 0 {
+								held--
+							}
+						}
+						continue
+					}
+				}
+			}
+			checkStmt(s, held)
+		}
+	}
+	walk(fl.Body.List, 0)
+}

@@ -36,7 +36,7 @@ func TestMatchPatterns(t *testing.T) {
 	for _, p := range all {
 		paths = append(paths, p.Path)
 	}
-	want := []string{"fix/clean", "fix/ctxflow", "fix/determinism", "fix/goldenio", "fix/hotpath", "fix/nilreg/metrics", "fix/nilreg/user"}
+	want := []string{"fix/atomiccheck", "fix/chanproto", "fix/clean", "fix/ctxflow", "fix/determinism", "fix/goldenio", "fix/golife", "fix/hotpath", "fix/lockdisc", "fix/nilreg/metrics", "fix/nilreg/user"}
 	if strings.Join(paths, ",") != strings.Join(want, ",") {
 		t.Errorf("Match(./...) = %v, want %v", paths, want)
 	}

@@ -1,0 +1,238 @@
+package analysis
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"testing"
+)
+
+// TestSARIFSchemaStable pins the SARIF 2.1.0 contract: the keys code-
+// scanning consumers navigate ($schema, version, runs[0].tool.driver.rules,
+// runs[0].results with ruleId/level/message/locations) must not drift.
+func TestSARIFSchemaStable(t *testing.T) {
+	var buf strings.Builder
+	count, err := Lint(LintConfig{
+		Dir:       fixRoot,
+		Patterns:  []string{"./lockdisc"},
+		Analyzers: []string{"lockdisc"},
+		SARIF:     true,
+	}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if count == 0 {
+		t.Fatal("expected findings on the lockdisc fixture")
+	}
+
+	var top map[string]json.RawMessage
+	if err := json.Unmarshal([]byte(buf.String()), &top); err != nil {
+		t.Fatalf("output is not JSON: %v", err)
+	}
+	for _, key := range []string{"$schema", "version", "runs"} {
+		if _, ok := top[key]; !ok {
+			t.Errorf("missing top-level key %q", key)
+		}
+	}
+	var version string
+	if err := json.Unmarshal(top["version"], &version); err != nil || version != "2.1.0" {
+		t.Errorf("version = %s, want \"2.1.0\"", top["version"])
+	}
+
+	var runs []struct {
+		Tool struct {
+			Driver struct {
+				Name  string `json:"name"`
+				Rules []struct {
+					ID               string `json:"id"`
+					ShortDescription struct {
+						Text string `json:"text"`
+					} `json:"shortDescription"`
+				} `json:"rules"`
+			} `json:"driver"`
+		} `json:"tool"`
+		Results []struct {
+			RuleID  string `json:"ruleId"`
+			Level   string `json:"level"`
+			Message struct {
+				Text string `json:"text"`
+			} `json:"message"`
+			Locations []struct {
+				PhysicalLocation struct {
+					ArtifactLocation struct {
+						URI string `json:"uri"`
+					} `json:"artifactLocation"`
+					Region struct {
+						StartLine   int `json:"startLine"`
+						StartColumn int `json:"startColumn"`
+					} `json:"region"`
+				} `json:"physicalLocation"`
+			} `json:"locations"`
+		} `json:"results"`
+	}
+	if err := json.Unmarshal(top["runs"], &runs); err != nil {
+		t.Fatalf("runs: %v", err)
+	}
+	if len(runs) != 1 {
+		t.Fatalf("len(runs) = %d, want 1", len(runs))
+	}
+	if runs[0].Tool.Driver.Name != "depburst lint" {
+		t.Errorf("driver name = %q", runs[0].Tool.Driver.Name)
+	}
+	if len(runs[0].Tool.Driver.Rules) != 1 || runs[0].Tool.Driver.Rules[0].ID != "lockdisc" {
+		t.Errorf("rules = %+v, want the selected analyzer only", runs[0].Tool.Driver.Rules)
+	}
+	if len(runs[0].Results) != count {
+		t.Fatalf("len(results) = %d, want %d", len(runs[0].Results), count)
+	}
+	r := runs[0].Results[0]
+	if r.RuleID != "lockdisc" || r.Level != "error" || r.Message.Text == "" {
+		t.Errorf("result shape wrong: %+v", r)
+	}
+	loc := r.Locations[0].PhysicalLocation
+	if !strings.HasPrefix(loc.ArtifactLocation.URI, "lockdisc/") || loc.Region.StartLine == 0 || loc.Region.StartColumn == 0 {
+		t.Errorf("location shape wrong: %+v", loc)
+	}
+}
+
+// TestSARIFByteDeterministic requires byte-identical SARIF and JSON reports
+// across repeated runs and across GOMAXPROCS settings — the lint report is
+// an export, so the repo's determinism invariant applies to it.
+func TestSARIFByteDeterministic(t *testing.T) {
+	render := func(sarif bool) string {
+		var buf strings.Builder
+		_, err := Lint(LintConfig{Dir: fixRoot, SARIF: sarif, JSON: !sarif}, &buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return buf.String()
+	}
+	for _, sarif := range []bool{true, false} {
+		first := render(sarif)
+		prev := runtime.GOMAXPROCS(8)
+		second := render(sarif)
+		runtime.GOMAXPROCS(prev)
+		if first != second {
+			t.Errorf("sarif=%v report differs across runs/-j settings:\n--- first ---\n%s--- second ---\n%s", sarif, first, second)
+		}
+	}
+}
+
+// TestBaselineRoundTrip covers the strict-on-new-code loop: write a
+// baseline, re-run against it (zero findings), then introduce a new
+// violation and require that only the new finding surfaces.
+func TestBaselineRoundTrip(t *testing.T) {
+	dir := writeModule(t, atomicSrc)
+	mutated := strings.Replace(atomicSrc, "atomic.LoadInt64(&s.hits)", "s.hits", 1)
+	if err := os.WriteFile(filepath.Join(dir, "export", "export.go"), []byte(mutated), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	base := filepath.Join(t.TempDir(), "lint.baseline")
+
+	var buf strings.Builder
+	count, err := Lint(LintConfig{Dir: dir, Baseline: base, WriteBaseline: true}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if count != 0 {
+		t.Fatalf("write-baseline run should report clean, got %d", count)
+	}
+	if !strings.Contains(buf.String(), "1 finding(s) baselined") {
+		t.Errorf("write-baseline should report what it recorded: %s", buf.String())
+	}
+
+	buf.Reset()
+	count, err = Lint(LintConfig{Dir: dir, Baseline: base}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if count != 0 {
+		t.Fatalf("baselined run should be clean, got %d:\n%s", count, buf.String())
+	}
+
+	// A second copy of the same violation exceeds the baselined count and
+	// is reported as new.
+	doubled := mutated + `
+func (s *stats) ReadAgain() int64 {
+	return s.hits
+}
+`
+	if err := os.WriteFile(filepath.Join(dir, "export", "export.go"), []byte(doubled), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	buf.Reset()
+	count, err = Lint(LintConfig{Dir: dir, Baseline: base}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if count != 1 {
+		t.Fatalf("new finding should survive the baseline, got %d:\n%s", count, buf.String())
+	}
+	if !strings.Contains(buf.String(), "plain read of hits") {
+		t.Errorf("surviving finding should be the new violation:\n%s", buf.String())
+	}
+}
+
+// TestBaselineMissingFileIsEmpty: pointing -baseline at a nonexistent file
+// suppresses nothing and does not error, so fresh checkouts work.
+func TestBaselineMissingFileIsEmpty(t *testing.T) {
+	dir := writeModule(t, strings.Replace(atomicSrc, "atomic.LoadInt64(&s.hits)", "s.hits", 1))
+	var buf strings.Builder
+	count, err := Lint(LintConfig{Dir: dir, Baseline: filepath.Join(t.TempDir(), "absent")}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if count != 1 {
+		t.Fatalf("missing baseline must suppress nothing, got %d", count)
+	}
+}
+
+// TestBaselineVersionPinned: a future-versioned baseline is rejected
+// instead of silently mis-suppressing.
+func TestBaselineVersionPinned(t *testing.T) {
+	base := filepath.Join(t.TempDir(), "lint.baseline")
+	if err := os.WriteFile(base, []byte(`{"version": 99, "entries": []}`+"\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadBaseline(base); err == nil || !strings.Contains(err.Error(), "version 99") {
+		t.Fatalf("future version must be rejected, got err=%v", err)
+	}
+}
+
+// TestLintConfigExclusivity: -json/-sarif conflict and -write-baseline
+// without a path are usage errors, not silent choices.
+func TestLintConfigExclusivity(t *testing.T) {
+	var buf strings.Builder
+	if _, err := Lint(LintConfig{Dir: fixRoot, JSON: true, SARIF: true}, &buf); err == nil {
+		t.Error("JSON+SARIF should be rejected")
+	}
+	if _, err := Lint(LintConfig{Dir: fixRoot, WriteBaseline: true}, &buf); err == nil {
+		t.Error("WriteBaseline without Baseline should be rejected")
+	}
+}
+
+// TestFingerprintStability pins the fingerprint inputs: position-
+// independent (line moves do not resurface a suppressed finding) but
+// sensitive to analyzer, file, and message.
+func TestFingerprintStability(t *testing.T) {
+	d := Diagnostic{Analyzer: "lockdisc", File: "a/b.go", Line: 10, Col: 2, Message: "m"}
+	moved := d
+	moved.Line, moved.Col = 99, 7
+	if d.Fingerprint() != moved.Fingerprint() {
+		t.Error("fingerprint must ignore position")
+	}
+	for _, alt := range []Diagnostic{
+		{Analyzer: "golife", File: "a/b.go", Message: "m"},
+		{Analyzer: "lockdisc", File: "a/c.go", Message: "m"},
+		{Analyzer: "lockdisc", File: "a/b.go", Message: "other"},
+	} {
+		if alt.Fingerprint() == d.Fingerprint() {
+			t.Errorf("fingerprint collision with %+v", alt)
+		}
+	}
+	if len(d.Fingerprint()) != 16 {
+		t.Errorf("fingerprint length = %d, want 16 hex digits", len(d.Fingerprint()))
+	}
+}

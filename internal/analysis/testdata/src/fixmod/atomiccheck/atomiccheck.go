@@ -1,0 +1,59 @@
+// Package atomiccheck exercises the atomics analyzer: plain reads and
+// writes of fields accessed through sync/atomic, copies of values holding
+// typed atomics, and value receivers on atomic-bearing types.
+package atomiccheck
+
+import "sync/atomic"
+
+type stats struct {
+	hits int64
+	miss int64
+}
+
+// bump is the sanctioned access: address into sync/atomic.
+func (s *stats) bump() {
+	atomic.AddInt64(&s.hits, 1)
+	atomic.AddInt64(&s.miss, 1)
+}
+
+// plainRead reads an atomically-written field without atomic.Load.
+func (s *stats) plainRead() int64 {
+	return s.hits
+}
+
+// plainWrite stores into an atomically-written field directly.
+func (s *stats) plainWrite() {
+	s.miss = 0
+}
+
+// okLoad is the matching correct read.
+func (s *stats) okLoad() int64 {
+	return atomic.LoadInt64(&s.hits)
+}
+
+type holder struct {
+	v atomic.Int64
+}
+
+// copyValue copies the holder, shearing the atomic from its address.
+func copyValue(h *holder) int64 {
+	c := *h
+	return c.v.Load()
+}
+
+// valueRecv copies the receiver on every call.
+func (h holder) valueRecv() int64 {
+	return h.v.Load()
+}
+
+// byValueParam copies the holder into the callee.
+func byValueParam(h *holder) {
+	consume(*h)
+}
+
+func consume(h holder) { _ = h }
+
+// okPointer shares the holder the sanctioned way.
+func okPointer(h *holder) int64 {
+	return h.v.Load()
+}

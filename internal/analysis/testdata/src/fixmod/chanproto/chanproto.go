@@ -1,0 +1,91 @@
+// Package chanproto exercises the channel-protocol analyzer: sends with no
+// receive path, closes from the receiving side, reachable double-closes,
+// closes inside loops, and buffered sends in unbounded loops.
+package chanproto
+
+// sendNoRecv sends on a local channel nothing ever receives from.
+func sendNoRecv() {
+	done := make(chan struct{})
+	done <- struct{}{}
+}
+
+// closeReceiverSide closes from the scope that receives while the
+// goroutine is the sender.
+func closeReceiverSide() int {
+	ch := make(chan int)
+	go func() {
+		for i := 0; i < 3; i++ {
+			ch <- i
+		}
+	}()
+	v := <-ch
+	close(ch)
+	return v
+}
+
+// doubleClose closes the same channel twice on one path.
+func doubleClose() {
+	ch := make(chan int, 1)
+	ch <- 1
+	<-ch
+	close(ch)
+	close(ch)
+}
+
+// closeInLoop re-closes on every iteration.
+func closeInLoop(n int) {
+	ch := make(chan int, 1)
+	ch <- 1
+	<-ch
+	for i := 0; i < n; i++ {
+		close(ch)
+	}
+}
+
+// bufferedLoopSend fills the buffer from an unbounded loop that never
+// drains it.
+func bufferedLoopSend(src func() int) int {
+	ch := make(chan int, 8)
+	go func() {
+		for {
+			ch <- src()
+		}
+	}()
+	return <-ch
+}
+
+// okProducer closes from the sending goroutine; the consumer ranges.
+func okProducer(items []int) int {
+	ch := make(chan int)
+	go func() {
+		for _, v := range items {
+			ch <- v
+		}
+		close(ch)
+	}()
+	total := 0
+	for v := range ch {
+		total += v
+	}
+	return total
+}
+
+// okBranchClose closes exactly once across exclusive branches.
+func okBranchClose(fast bool) {
+	ch := make(chan struct{}, 1)
+	ch <- struct{}{}
+	<-ch
+	if fast {
+		close(ch)
+	} else {
+		close(ch)
+	}
+}
+
+// okEscape hands the channel to its consumer; escaped channels are not
+// guessed at.
+func okEscape() chan int {
+	ch := make(chan int)
+	ch <- 0 // not flagged: the receive lives with the caller
+	return ch
+}

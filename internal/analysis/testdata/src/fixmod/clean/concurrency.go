@@ -1,0 +1,126 @@
+// Sanctioned concurrency idioms: the lockdisc/golife/atomiccheck/chanproto
+// analyzers must all pass this file with zero diagnostics.
+package clean
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+)
+
+// Store is the canonical guarded aggregate: annotated fields, defer-unlock
+// accessors, a caller-holds helper, and an RWMutex read path.
+type Store struct {
+	mu sync.RWMutex
+	//depburst:guardedby mu
+	vals map[string]int
+	//depburst:guardedby mu
+	total int
+}
+
+// NewStore builds the store pre-publication: fresh values need no lock.
+func NewStore() *Store {
+	s := &Store{vals: map[string]int{}}
+	s.total = 0
+	return s
+}
+
+// Put takes the write lock and delegates to the locked helper.
+func (s *Store) Put(k string, v int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.put(k, v)
+}
+
+// put requires the caller to hold mu.
+//
+//depburst:locked mu
+func (s *Store) put(k string, v int) {
+	s.vals[k] = v
+	s.total += v
+}
+
+// Get reads under the read lock, sorting nothing and mutating nothing.
+func (s *Store) Get(k string) int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.vals[k]
+}
+
+// Flights mirrors the server's embedded-mutex map guard.
+type Flights struct {
+	reg struct {
+		sync.Mutex
+		//depburst:guardedby Mutex
+		m map[string]bool
+	}
+}
+
+// Mark locks through the promoted method.
+func (f *Flights) Mark(k string) {
+	f.reg.Lock()
+	if f.reg.m == nil {
+		f.reg.m = map[string]bool{}
+	}
+	f.reg.m[k] = true
+	f.reg.Unlock()
+}
+
+// Hits is the all-atomic counter: every access goes through sync/atomic.
+type Hits struct {
+	n int64
+}
+
+// Bump and Read agree on atomicity.
+func (h *Hits) Bump()       { atomic.AddInt64(&h.n, 1) }
+func (h *Hits) Read() int64 { return atomic.LoadInt64(&h.n) }
+
+// Pump is the sanctioned pipeline: the sender closes, the consumer ranges,
+// the worker loop exits on ctx.Done, and the fan-out goroutines are joined.
+func Pump(ctx context.Context, items []int) int {
+	ch := make(chan int)
+	go func() {
+		defer close(ch)
+		for _, v := range items {
+			select {
+			case ch <- v:
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+	total := 0
+	for v := range ch {
+		total += v
+	}
+	return total
+}
+
+// FanOut joins every spawned goroutine and passes the loop value as an
+// argument instead of capturing it.
+func FanOut(items []int) int {
+	var mu sync.Mutex
+	total := 0
+	var wg sync.WaitGroup
+	for i := range items {
+		wg.Add(1)
+		go func(v int) {
+			defer wg.Done()
+			mu.Lock()
+			total += v
+			mu.Unlock()
+		}(items[i])
+	}
+	wg.Wait()
+	return total
+}
+
+// Watch runs for the process lifetime by design.
+func Watch(tick chan struct{}) {
+	//depburst:daemon -- fixture watcher mirrors the metrics flusher
+	go func() {
+		for {
+			<-tick
+		}
+	}()
+}

@@ -1,0 +1,100 @@
+// Package golife exercises the goroutine-lifecycle analyzer: loops with no
+// termination path, dynamically-resolved spawns, loop-variable capture,
+// unsynchronized captured writes, and a reasonless daemon directive.
+package golife
+
+import (
+	"context"
+	"sync"
+)
+
+// leak spawns an unbounded loop with no exit, no join, no annotation.
+func leak() {
+	go func() {
+		for {
+			step()
+		}
+	}()
+}
+
+// dynamic spawns through a function value the analyzer cannot resolve.
+func dynamic(f func()) {
+	go f()
+}
+
+// capture hands the loop variable to the closure by reference.
+func capture(items []int) {
+	var wg sync.WaitGroup
+	for _, it := range items {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sink(it)
+		}()
+	}
+	wg.Wait()
+}
+
+// racyWrite mutates a captured local from the goroutine with no lock.
+func racyWrite() int {
+	total := 0
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		total++
+	}()
+	wg.Wait()
+	return total
+}
+
+// reasonlessDaemon carries the directive without the mandatory reason, so
+// it is reported and the loop is still checked.
+func reasonlessDaemon() {
+	//depburst:daemon
+	go func() {
+		for {
+			step()
+		}
+	}()
+}
+
+// okCtxLoop selects on ctx.Done, the sanctioned termination path.
+func okCtxLoop(ctx context.Context, work chan int) {
+	go func() {
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case v := <-work:
+				sink(v)
+			}
+		}
+	}()
+}
+
+// okJoined is joined through the WaitGroup; bounded loops need no exit.
+func okJoined(items []int) {
+	var wg sync.WaitGroup
+	for i := 0; i < len(items); i++ {
+		wg.Add(1)
+		go func(v int) {
+			defer wg.Done()
+			sink(v)
+		}(items[i])
+	}
+	wg.Wait()
+}
+
+// okDaemon is sanctioned with a reason.
+func okDaemon() {
+	//depburst:daemon -- fixture flusher runs for process lifetime
+	go func() {
+		for {
+			step()
+		}
+	}()
+}
+
+func step()      {}
+func sink(v int) { _ = v }

@@ -1,0 +1,112 @@
+// Package lockdisc exercises the lock-discipline analyzer: unguarded
+// reads/writes of annotated fields, RWMutex writes under RLock, embedded
+// mutex guards, and an annotation naming a mutex that does not exist.
+package lockdisc
+
+import "sync"
+
+type counter struct {
+	mu sync.Mutex
+	//depburst:guardedby mu
+	n int
+}
+
+// unguardedRead touches n without the lock.
+func (c *counter) unguardedRead() int {
+	return c.n
+}
+
+// unguardedWrite mutates n without the lock.
+func (c *counter) unguardedWrite(v int) {
+	c.n = v
+}
+
+// ok holds the lock with the defer-unlock idiom.
+func (c *counter) ok() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.n++
+	return c.n
+}
+
+// okBranch unlocks and returns inside a branch; the fall-through path
+// keeps the lock.
+func (c *counter) okBranch(limit int) int {
+	c.mu.Lock()
+	if c.n > limit {
+		c.mu.Unlock()
+		return limit
+	}
+	v := c.n
+	c.mu.Unlock()
+	return v
+}
+
+// helper is a caller-holds-lock helper; its body is analyzed as locked.
+//
+//depburst:locked mu
+func (c *counter) helper() int {
+	return c.n
+}
+
+// okFresh initializes a freshly-built value pre-publication: no lock.
+func okFresh() *counter {
+	c := &counter{}
+	c.n = 1
+	return c
+}
+
+type gauges struct {
+	mu sync.RWMutex
+	//depburst:guardedby mu
+	vals map[string]float64
+}
+
+// writeUnderRLock mutates under a read lock only.
+func (g *gauges) writeUnderRLock(k string, v float64) {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	g.vals[k] = v
+}
+
+// okRead reads under RLock, which is sufficient.
+func (g *gauges) okRead(k string) float64 {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return g.vals[k]
+}
+
+type table struct {
+	reg struct {
+		sync.Mutex
+		//depburst:guardedby Mutex
+		m map[string]int
+	}
+}
+
+// unguardedEmbedded reads through the embedded-mutex struct without
+// locking it.
+func (t *table) unguardedEmbedded(k string) int {
+	return t.reg.m[k]
+}
+
+// okEmbedded locks via the promoted method, which keys to the embedded
+// Mutex field.
+func (t *table) okEmbedded(k string, v int) {
+	t.reg.Lock()
+	t.reg.m[k] = v
+	t.reg.Unlock()
+}
+
+type mislabeled struct {
+	mu sync.Mutex
+	//depburst:guardedby lock
+	v int
+}
+
+// use keeps the struct referenced.
+func (m *mislabeled) use() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.v
+}

@@ -86,9 +86,11 @@ type Runner struct {
 }
 
 type memo struct {
-	mu    sync.Mutex
+	mu sync.Mutex
+	//depburst:guardedby mu
 	truth map[truthKey]*entry
-	runs  map[runKey]*entry
+	//depburst:guardedby mu
+	runs map[runKey]*entry
 }
 
 // resultFingerprint pins the structure of sim.Result into every disk-cache
@@ -245,10 +247,13 @@ type runKey struct {
 // caller re-executes it, while a successful flight memoises its result
 // forever. res non-nil means complete; done non-nil means in flight.
 type entry struct {
-	mu   sync.Mutex
+	mu sync.Mutex
+	//depburst:guardedby mu
 	done chan struct{}
-	res  *sim.Result
-	mgr  any
+	//depburst:guardedby mu
+	res *sim.Result
+	//depburst:guardedby mu
+	mgr any
 }
 
 // execFn is one run family's body. It returns the result and (for governed

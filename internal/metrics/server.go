@@ -40,12 +40,17 @@ type routeStats struct {
 // A nil *ServerRegistry disables every method, mirroring the Registry
 // convention, so handler code never branches on whether metrics are wired.
 type ServerRegistry struct {
-	mu        sync.Mutex
-	routes    map[string]*routeStats
-	tiers     map[string]*Histogram
+	mu sync.Mutex
+	//depburst:guardedby mu
+	routes map[string]*routeStats
+	//depburst:guardedby mu
+	tiers map[string]*Histogram
+	//depburst:guardedby mu
 	coalesced uint64
-	rejected  uint64
-	gauges    map[string]float64
+	//depburst:guardedby mu
+	rejected uint64
+	//depburst:guardedby mu
+	gauges map[string]float64
 }
 
 // NewServerRegistry returns an enabled serving-layer registry.

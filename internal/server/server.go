@@ -103,6 +103,7 @@ type Server struct {
 
 	flights struct {
 		sync.Mutex
+		//depburst:guardedby Mutex
 		m map[string]*flight
 	}
 
@@ -110,6 +111,7 @@ type Server struct {
 	// runnerFor); bounded by maxSamplingRunners.
 	samplers struct {
 		sync.Mutex
+		//depburst:guardedby Mutex
 		m map[sampling.Policy]*experiments.Runner
 	}
 }

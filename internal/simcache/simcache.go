@@ -70,7 +70,8 @@ type Store struct {
 	dir      string
 	maxBytes int64
 
-	mu    sync.Mutex
+	mu sync.Mutex
+	//depburst:guardedby mu
 	stats Stats
 }
 

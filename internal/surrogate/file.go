@@ -126,7 +126,7 @@ func Decode(raw []byte) (*Model, error) {
 		return nil, fmt.Errorf("surrogate: standardization length mismatch")
 	}
 
-	m := NewModel()
+	m := &Model{byID: map[string]*group{}}
 	m.gamma = clamp01(p.Gamma)
 	m.interpErr, m.extrapErr, m.knnErr = p.InterpErr, p.ExtrapErr, p.KNNErr
 	m.featMean, m.featStd = p.FeatMean, p.FeatStd

@@ -125,14 +125,19 @@ type Model struct {
 
 	// gamma is the corpus-wide mean scaling fraction, used to scale
 	// single-observation groups across frequency.
+	//depburst:guardedby mu
 	gamma float64
 	// Cross-validated mean-abs relative errors per source.
+	//depburst:guardedby mu
 	interpErr, extrapErr, knnErr float64
 	// Feature standardization, frozen at the last Train.
+	//depburst:guardedby mu
 	featMean, featStd []float64
 
+	//depburst:guardedby mu
 	groups []*group // sorted by id
-	byID   map[string]*group
+	//depburst:guardedby mu
+	byID map[string]*group
 }
 
 // NewModel returns an empty model: every error estimate at its default,
@@ -157,6 +162,8 @@ func Train(samples []Sample) *Model {
 }
 
 // add inserts one sample without recomputing corpus-wide statistics.
+//
+//depburst:locked mu
 func (m *Model) add(s Sample) {
 	man := s.manifest()
 	if man.Config.Freq <= 0 || s.Time < 0 {
@@ -196,6 +203,8 @@ func (m *Model) Observe(cfg sim.Config, spec dacapo.Spec, t units.Time) {
 
 // finalize recomputes corpus-wide statistics: γ, feature standardization,
 // and the cross-validated per-source error estimates.
+//
+//depburst:locked mu
 func (m *Model) finalize() {
 	var fracs []float64
 	for _, g := range m.groups {
@@ -243,6 +252,8 @@ func (m *Model) finalize() {
 // (extrap), and every group's points from a model without the whole group
 // (knn). Floors prevent a small corpus from declaring itself perfect, and
 // the estimates are forced onto the trust ladder interp <= extrap <= knn.
+//
+//depburst:locked mu
 func (m *Model) crossValidate() {
 	var interpErrs, extrapErrs, knnErrs []float64
 	for _, g := range m.groups {
@@ -350,6 +361,8 @@ func (m *Model) estimate(t float64, source string, errEst float64) Estimate {
 // weighted by inverse distance. The returned dist is the mean neighbour
 // distance, which widens the error estimate. Deterministic: candidates are
 // ranked by (distance, group id).
+//
+//depburst:locked mu
 func (m *Model) knnPredict(feat []float64, work float64, f units.Freq, exclude string) (t, dist float64, ok bool) {
 	type cand struct {
 		d float64
@@ -400,6 +413,8 @@ func (m *Model) knnPredict(feat []float64, work float64, f units.Freq, exclude s
 // distance is the mean per-dimension standardized absolute difference.
 // Standardization uses the statistics frozen at the last Train; an
 // Observe-only model compares raw features.
+//
+//depburst:locked mu
 func (m *Model) distance(a, b []float64) float64 {
 	var d float64
 	for i := range a {
